@@ -1,0 +1,152 @@
+// Command paper regenerates the tables and figures of the paper's
+// evaluation section (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	paper -exp table3                    # dataset description (instant)
+//	paper -exp suite -results res.json   # run the shared optimizer suite
+//	paper -exp table1 -results res.json  # format Table 1 from the cache
+//	paper -exp table4 -results res.json
+//	paper -exp figure7a -results res.json
+//	paper -exp table5                    # distributed Cu study
+//	paper -exp figure4                   # quasi-learning-rate ablation
+//	paper -exp figure7b                  # kernel counts + iteration split
+//	paper -exp memory                    # P-update peak memory (paper scale)
+//	paper -exp comm                      # communication analysis
+//	paper -exp largebatch                # LARS/LAMB/Adam/FEKF extension ablation
+//	paper -exp all -results res.json     # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fekf/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		exp        = flag.String("exp", "all", "experiment id (see -h)")
+		resultPath = flag.String("results", "paper_results.json", "suite result cache")
+		snapshots  = flag.Int("snapshots", 0, "override dataset size")
+		systems    = flag.String("systems", "", "comma list override, e.g. Cu,Si")
+		quick      = flag.Bool("quick", false, "use the reduced smoke-test settings")
+		rerun      = flag.Bool("rerun", false, "ignore the result cache and re-train")
+		fekfEpochs = flag.Int("fekf-epochs", 0, "override the FEKF epoch budget")
+		paperScale = flag.Bool("paperscale", false, "figure7b/c at the paper's 26.5k-param network")
+	)
+	flag.Parse()
+
+	opts := experiments.Defaults()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	opts.Log = os.Stderr
+	if *snapshots > 0 {
+		opts.Snapshots = *snapshots
+	}
+	if *systems != "" {
+		opts.Systems = splitComma(*systems)
+	}
+	if *fekfEpochs > 0 {
+		opts.FEKFMaxEpochs = *fekfEpochs
+	}
+
+	needSuite := map[string]bool{"suite": true, "table1": true, "table4": true, "figure7a": true, "all": true}
+	var results []experiments.SystemResult
+	if needSuite[*exp] {
+		var err error
+		if !*rerun {
+			results, err = experiments.LoadResults(*resultPath)
+		}
+		if *rerun || err != nil || len(results) == 0 {
+			fmt.Fprintf(os.Stderr, "running optimizer suite for %v (this trains %d configurations)...\n",
+				opts.Systems, 6*len(opts.Systems))
+			results, err = experiments.RunSuite(opts)
+			if err != nil {
+				log.Fatalf("paper: %v", err)
+			}
+			if err := experiments.SaveResults(*resultPath, results); err != nil {
+				log.Fatalf("paper: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "suite cached to %s\n", *resultPath)
+		}
+	}
+
+	w := os.Stdout
+	run := func(id string) {
+		switch id {
+		case "suite":
+			fmt.Fprintf(w, "suite complete: %d systems cached in %s\n", len(results), *resultPath)
+		case "table1":
+			experiments.Table1(w, results)
+		case "table3":
+			experiments.Table3(w, opts)
+		case "table4":
+			experiments.Table4(w, results)
+		case "table5":
+			if _, err := experiments.Table5(w, opts); err != nil {
+				log.Fatalf("paper: table5: %v", err)
+			}
+		case "figure4":
+			if err := experiments.Figure4(w, opts); err != nil {
+				log.Fatalf("paper: figure4: %v", err)
+			}
+		case "figure7a":
+			experiments.Figure7a(w, results)
+		case "figure7b", "figure7c":
+			if _, err := experiments.Figure7bc(w, opts, *paperScale); err != nil {
+				log.Fatalf("paper: figure7bc: %v", err)
+			}
+		case "memory":
+			if _, err := experiments.Memory(w, opts); err != nil {
+				log.Fatalf("paper: memory: %v", err)
+			}
+		case "comm":
+			if err := experiments.Comm(w, opts); err != nil {
+				log.Fatalf("paper: comm: %v", err)
+			}
+		case "largebatch":
+			if err := experiments.LargeBatch(w, opts); err != nil {
+				log.Fatalf("paper: largebatch: %v", err)
+			}
+		case "lambdanu":
+			if err := experiments.LambdaNu(w, opts); err != nil {
+				log.Fatalf("paper: lambdanu: %v", err)
+			}
+		default:
+			log.Fatalf("paper: unknown experiment %q", id)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"table3", "table1", "table4", "figure7a", "figure4", "figure7b", "table5", "comm", "largebatch", "lambdanu", "memory"} {
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

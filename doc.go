@@ -1,0 +1,15 @@
+// Package fekf is a pure-Go reproduction of "Training one DeePMD Model in
+// Minutes: a Step towards Online Learning" (PPoPP 2024): the Fast Extended
+// Kalman Filter (FEKF) optimizer for Deep Potential molecular-dynamics
+// models, together with every substrate the paper's evaluation depends on
+// — the DeePMD network with its symmetry-preserving descriptor, a
+// reverse-mode autodiff engine with double-backprop support, classical-MD
+// label generation for the eight benchmark systems, Adam/RLEKF/Naive-EKF
+// baselines, a simulated multi-GPU cluster with ring-allreduce, and the
+// kernel-fusion system optimizations of the paper's Section 3.4.
+//
+// The implementation lives under internal/; the executables under cmd/
+// (datagen, train, paper) and the runnable walkthroughs under examples/
+// are the public surface.  bench_test.go holds one benchmark per paper
+// table and figure.  See README.md, DESIGN.md and EXPERIMENTS.md.
+package fekf

@@ -1,0 +1,62 @@
+// Scaling: distributed FEKF across simulated GPU ranks.  Shows the
+// Section 3.3 properties directly: the batch splits over ranks, only
+// reduced gradients and error scalars cross the ring, and the P replicas
+// stay bit-consistent without any covariance communication.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fekf/internal/cluster"
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+)
+
+func main() {
+	log.SetFlags(0)
+	ds, err := dataset.Generate("Cu", dataset.GenOptions{
+		Snapshots: 64, SampleEvery: 5, EquilSteps: 40, Tiny: true, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %10s %12s %14s %14s %14s\n",
+		"ranks", "batch", "wire (MB)", "modeled (ms)", "drift", "E/atom RMSE")
+	for _, workers := range []int{1, 2, 4} {
+		sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+		base, err := deepmd.NewModel(deepmd.TinyConfig(sys))
+		if err != nil {
+			log.Fatal(err)
+		}
+		base.Level = deepmd.OptAll
+		base.Dev = device.New("seed", device.A100())
+		if err := base.InitFromDataset(ds); err != nil {
+			log.Fatal(err)
+		}
+
+		dp := cluster.NewDataParallelFEKF(workers, base)
+		dp.KCfg = dp.KCfg.WithOpt3()
+		rng := rand.New(rand.NewSource(1))
+		bs := 16 * workers // scale the batch with the rank count
+		for iter := 0; iter < 6; iter++ {
+			if _, err := dp.Step(ds, ds.SampleBatch(bs, rng)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		met, err := dp.Model().Evaluate(ds.Subset(16), 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %10d %12.2f %14.2f %14.2g %14.4f\n",
+			workers, bs,
+			float64(dp.Ring().WireBytes())/(1<<20),
+			dp.ModeledIterationNs()/1e6,
+			dp.ReplicaDrift(),
+			met.EnergyPerAtomRMSE)
+	}
+	fmt.Println("\nP never crosses the wire; replicas agree to floating-point order.")
+}

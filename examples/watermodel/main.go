@@ -1,0 +1,92 @@
+// Watermodel: fit a DeePMD potential to flexible-water trajectories, then
+// run molecular dynamics *with the fitted network* and compare it against
+// the reference potential — the NNMD deployment loop the paper's fast
+// training serves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/md"
+	"fekf/internal/optimize"
+	"fekf/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("sampling labelled H2O snapshots (flexible SPC water)...")
+	ds, err := dataset.Generate("H2O", dataset.GenOptions{
+		Snapshots: 64, SampleEvery: 5, EquilSteps: 60, Tiny: true, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSet, testSet := ds.Split(0.25, 3)
+
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	model, err := deepmd.NewModel(deepmd.TinyConfig(sys))
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.Level = deepmd.OptAll
+	model.Dev = device.New("gpu0", device.A100())
+	if err := model.InitFromDataset(trainSet); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two-species model (O,H): %d parameters\n", model.NumParams())
+
+	// RLEKF converges in very few epochs on the small set; use it here to
+	// show the second optimizer entry point.
+	opt := optimize.NewRLEKF()
+	res, err := train.Run(model, train.OptStepper{M: model, Opt: opt}, trainSet, train.Config{
+		BatchSize: 1, MaxEpochs: 2, Seed: 3,
+		OnEpoch: func(epoch int, met deepmd.Metrics) {
+			fmt.Printf("  epoch %d: E/atom RMSE %.4f eV, F RMSE %.3f eV/Å\n",
+				epoch, met.EnergyPerAtomRMSE, met.ForceRMSE)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %.1fs\n", res.Wall.Seconds())
+
+	met, err := model.Evaluate(testSet, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test: E/atom RMSE %.4f eV, F RMSE %.3f eV/Å\n\n",
+		met.EnergyPerAtomRMSE, met.ForceRMSE)
+
+	// --- NNMD rollout: drive Langevin dynamics with the fitted network
+	// and track how its potential energy follows the reference.
+	spec, err := md.GetSystem("H2O")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nnSys, refPot := spec.TinyBuild()
+	rng := rand.New(rand.NewSource(7))
+	nnSys.InitVelocities(300, rng)
+	nn := deepmd.PotentialAdapter{M: model}
+	lg := md.NewLangevin(nn, 0.5, 300, rng)
+
+	fmt.Println("NNMD rollout: 60 steps of Langevin MD driven by the fitted network")
+	fmt.Printf("%6s %16s %16s %14s %8s\n", "step", "E_nn (eV)", "E_ref (eV)", "|Δ|/atom (eV)", "T (K)")
+	na := float64(nnSys.NumAtoms())
+	lg.Run(nnSys, 60, 15, func(step int) {
+		eRef, _ := md.ComputeAll(refPot, nnSys)
+		diff := lg.Energy() - eRef
+		if diff < 0 {
+			diff = -diff
+		}
+		fmt.Printf("%6d %16.3f %16.3f %14.3f %8.0f\n", step, lg.Energy(), eRef, diff/na, nnSys.Temperature())
+	})
+	fmt.Println("\nthe rollout stays bounded and the per-atom deviation from the reference")
+	fmt.Println("surface reflects the (deliberately short) two-epoch fit; more epochs or")
+	fmt.Println("more data tighten it — the retraining loop examples/onlinelearning shows.")
+}

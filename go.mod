@@ -1,0 +1,3 @@
+module fekf
+
+go 1.22

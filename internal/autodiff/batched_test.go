@@ -1,0 +1,70 @@
+package autodiff
+
+import (
+	"math/rand"
+	"testing"
+
+	"fekf/internal/tensor"
+)
+
+func TestGradBatchedMatMulFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	const batch, m, k, n = 3, 2, 4, 3
+	a := randDense(rng, batch*m, k)
+	b := randDense(rng, batch*k, n)
+	checkGrad(t, "bmatmul_a", a, func(g *Graph, av *Var) *Var {
+		return g.Sum(g.Square(g.BMatMul(av, g.Const(b), batch)))
+	})
+	checkGrad(t, "bmatmul_b", b, func(g *Graph, bv *Var) *Var {
+		return g.Sum(g.Square(g.BMatMul(g.Const(a), bv, batch)))
+	})
+	at := randDense(rng, batch*k, m)
+	checkGrad(t, "bmatmul_ta_a", at, func(g *Graph, av *Var) *Var {
+		return g.Sum(g.Square(g.BMatMulTA(av, g.Const(b), batch)))
+	})
+	checkGrad(t, "bmatmul_ta_b", b, func(g *Graph, bv *Var) *Var {
+		return g.Sum(g.Square(g.BMatMulTA(g.Const(at), bv, batch)))
+	})
+	bt := randDense(rng, batch*n, k)
+	checkGrad(t, "bmatmul_tb_a", a, func(g *Graph, av *Var) *Var {
+		return g.Sum(g.Square(g.BMatMulTB(av, g.Const(bt), batch)))
+	})
+	checkGrad(t, "bmatmul_tb_b", bt, func(g *Graph, bv *Var) *Var {
+		return g.Sum(g.Square(g.BMatMulTB(g.Const(a), bv, batch)))
+	})
+}
+
+// TestDoubleBackwardBatched mirrors the descriptor force path: differentiate
+// a gradient that itself came through a batched matmul.
+func TestDoubleBackwardBatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const batch, k, m = 2, 3, 2
+	r := randDense(rng, batch*k, 1) // acts like the environment input
+	w := randDense(rng, 1, m)
+	c := randDense(rng, batch*k, 1)
+
+	scalarOfW := func(wVal *tensor.Dense) float64 {
+		g := NewGraph(nil)
+		rv := g.Leaf(r, true)
+		gcol := g.Tanh(g.MatMul(rv, g.Leaf(wVal, true))) // (B·k)×m
+		x := g.BMatMulTA(rv, gcol, batch)                // per-block rᵀG
+		e := g.Sum(g.Square(x))
+		dr := GradScalar(e, []*Var{rv})[0]
+		return g.Dot(dr, g.Const(c)).Scalar()
+	}
+
+	g := NewGraph(nil)
+	rv := g.Leaf(r, true)
+	wv := g.Leaf(w, true)
+	gcol := g.Tanh(g.MatMul(rv, wv))
+	x := g.BMatMulTA(rv, gcol, batch)
+	e := g.Sum(g.Square(x))
+	dr := GradScalar(e, []*Var{rv})[0]
+	h := g.Dot(dr, g.Const(c))
+	got := GradScalar(h, []*Var{wv})[0].Value
+
+	want := numGrad(scalarOfW, w)
+	if !tensor.Equal(got, want, 1e-4) {
+		t.Fatalf("batched double backward:\n got %v\nwant %v", got, want)
+	}
+}

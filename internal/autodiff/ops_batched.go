@@ -1,0 +1,39 @@
+package autodiff
+
+import "fekf/internal/tensor"
+
+// Batched block-diagonal matmul primitives.  One batched op is one kernel
+// launch (mirroring cuBLAS batched GEMM); the per-atom descriptor algebra
+// of the DeePMD model is built from these.  The three variants close under
+// differentiation:
+//
+//	BMatMul:   out_i = a_i·b_i    da = BMatMulTB(g,b), db = BMatMulTA(a,g)
+//	BMatMulTA: out_i = a_iᵀ·b_i   da = BMatMulTB(b,g), db = BMatMul(a,g)
+//	BMatMulTB: out_i = a_i·b_iᵀ   da = BMatMul(g,b),   db = BMatMulTA(g,a)
+
+// BMatMul computes per-block a_i·b_i over `batch` stacked blocks.
+func (g *Graph) BMatMul(a, b *Var, batch int) *Var {
+	out := tensor.BatchedMatMul(a.Value, b.Value, batch)
+	flops := 2 * int64(a.Rows()) * int64(a.Cols()) * int64(b.Cols())
+	return g.op("bmatmul", out, flops, []*Var{a, b}, func(grad *Var) []*Var {
+		return []*Var{g.BMatMulTB(grad, b, batch), g.BMatMulTA(a, grad, batch)}
+	})
+}
+
+// BMatMulTA computes per-block a_iᵀ·b_i over `batch` stacked blocks.
+func (g *Graph) BMatMulTA(a, b *Var, batch int) *Var {
+	out := tensor.BatchedMatMulTA(a.Value, b.Value, batch)
+	flops := 2 * int64(a.Rows()) * int64(a.Cols()) * int64(b.Cols())
+	return g.op("bmatmul_ta", out, flops, []*Var{a, b}, func(grad *Var) []*Var {
+		return []*Var{g.BMatMulTB(b, grad, batch), g.BMatMul(a, grad, batch)}
+	})
+}
+
+// BMatMulTB computes per-block a_i·b_iᵀ over `batch` stacked blocks.
+func (g *Graph) BMatMulTB(a, b *Var, batch int) *Var {
+	out := tensor.BatchedMatMulTB(a.Value, b.Value, batch)
+	flops := 2 * int64(a.Rows()) * int64(a.Cols()) * int64(b.Rows()/batch)
+	return g.op("bmatmul_tb", out, flops, []*Var{a, b}, func(grad *Var) []*Var {
+		return []*Var{g.BMatMul(grad, b, batch), g.BMatMulTA(grad, a, batch)}
+	})
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/optimize"
+)
+
+// runAllreduce drives the collective from size goroutines.
+func runAllreduce(r *Ring, data [][]float64) {
+	var wg sync.WaitGroup
+	for rank := range data {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r.Allreduce(rank, data[rank])
+		}(rank)
+	}
+	wg.Wait()
+}
+
+func TestRingAllreduceMatchesDirectSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{1, 2, 3, 4, 7} {
+		for _, n := range []int{1, 3, 16, 100} {
+			ring := NewRing(size, RoCE25())
+			data := make([][]float64, size)
+			want := make([]float64, n)
+			for w := 0; w < size; w++ {
+				data[w] = make([]float64, n)
+				for i := range data[w] {
+					data[w][i] = rng.NormFloat64()
+					want[i] += data[w][i]
+				}
+			}
+			runAllreduce(ring, data)
+			for w := 0; w < size; w++ {
+				for i := 0; i < n; i++ {
+					if math.Abs(data[w][i]-want[i]) > 1e-12 {
+						t.Fatalf("size %d n %d rank %d elem %d: %v want %v",
+							size, n, w, i, data[w][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: allreduce result is identical on every rank for random inputs.
+func TestPropAllreduceRanksAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 2 + rng.Intn(4)
+		n := 1 + rng.Intn(40)
+		ring := NewRing(size, RoCE25())
+		data := make([][]float64, size)
+		for w := range data {
+			data[w] = make([]float64, n)
+			for i := range data[w] {
+				data[w][i] = rng.NormFloat64()
+			}
+		}
+		runAllreduce(ring, data)
+		for w := 1; w < size; w++ {
+			for i := 0; i < n; i++ {
+				if data[w][i] != data[0][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingWireBytesAccounting(t *testing.T) {
+	const size, n = 4, 64
+	ring := NewRing(size, RoCE25())
+	data := make([][]float64, size)
+	for w := range data {
+		data[w] = make([]float64, n)
+	}
+	runAllreduce(ring, data)
+	// each rank sends 2(size-1) chunks of n/size elements
+	want := int64(size) * 2 * int64(size-1) * int64(n/size) * 8
+	if got := ring.WireBytes(); got != want {
+		t.Fatalf("wire bytes = %d want %d", got, want)
+	}
+	if ring.ModeledNs() <= 0 {
+		t.Fatal("modeled comm time not accounted")
+	}
+}
+
+func TestRingSizeOneIsFree(t *testing.T) {
+	ring := NewRing(1, RoCE25())
+	data := []float64{1, 2, 3}
+	ring.Allreduce(0, data)
+	if ring.WireBytes() != 0 {
+		t.Fatal("single-rank allreduce must not communicate")
+	}
+}
+
+func clusterSetup(t *testing.T) (*dataset.Dataset, *deepmd.Model) {
+	t.Helper()
+	ds, err := dataset.Generate("Cu", dataset.GenOptions{
+		Snapshots: 8, SampleEvery: 4, EquilSteps: 20, Tiny: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	m, err := deepmd.NewModel(deepmd.TinyConfig(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Level = deepmd.OptFused
+	m.Dev = device.New("base", device.A100())
+	if err := m.InitFromDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	return ds, m
+}
+
+// TestDistributedMatchesSingleNode: 2-rank data-parallel FEKF must produce
+// the same weights as single-node FEKF on the same batch, up to
+// floating-point reduction order.
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	ds, m := clusterSetup(t)
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	single := optimize.NewFEKF()
+	mS := m.CloneFor(device.New("s", device.A100()))
+	for step := 0; step < 2; step++ {
+		if _, err := single.Step(mS, ds, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dp := NewDataParallelFEKF(2, m)
+	for step := 0; step < 2; step++ {
+		if _, err := dp.Step(ds, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ws := mS.Params.FlattenValues()
+	wd := dp.Model().Params.FlattenValues()
+	for i := range ws {
+		if math.Abs(ws[i]-wd[i]) > 1e-8*(1+math.Abs(ws[i])) {
+			t.Fatalf("weight %d: single %v distributed %v", i, ws[i], wd[i])
+		}
+	}
+}
+
+// TestReplicasStayConsistent is the paper's no-P-communication claim: all
+// ranks' weights (and hence P) remain identical without exchanging P.
+func TestReplicasStayConsistent(t *testing.T) {
+	ds, m := clusterSetup(t)
+	dp := NewDataParallelFEKF(4, m)
+	for step := 0; step < 3; step++ {
+		if _, err := dp.Step(ds, []int{0, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if drift := dp.ReplicaDrift(); drift > 1e-9 {
+		t.Fatalf("replicas drifted by %v", drift)
+	}
+}
+
+// TestCommunicationVolumeIsGradientsOnly checks the Section 3.3 analysis:
+// per iteration the wire carries O(updates · 2·N) doubles (gradients +
+// the two reduction scalars), nothing of the O(N·N_b) covariance.
+func TestCommunicationVolumeIsGradientsOnly(t *testing.T) {
+	ds, m := clusterSetup(t)
+	dp := NewDataParallelFEKF(2, m)
+	if _, err := dp.Step(ds, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	n := int64(m.Params.NumParams())
+	// 5 updates (1 energy + 4 force), each allreducing n+2 doubles over 2
+	// ranks: each rank sends 2(r-1)=2 chunks covering (n+2) elements total.
+	wantMax := 5 * 2 * 2 * (n + 2) * 8
+	if got := dp.Ring().WireBytes(); got > wantMax {
+		t.Fatalf("wire bytes %d exceed gradient-only budget %d", got, wantMax)
+	}
+	// P would add N_b² ≫ n doubles per block; verify we are far below one
+	// block's worth.
+	pBytes := dp.states[0].PBytes()
+	if got := dp.Ring().WireBytes(); got >= pBytes {
+		t.Fatalf("wire bytes %d not below a single P exchange %d", got, pBytes)
+	}
+}
+
+func TestModeledIterationTime(t *testing.T) {
+	ds, m := clusterSetup(t)
+	dp := NewDataParallelFEKF(2, m)
+	if _, err := dp.Step(ds, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if dp.ModeledIterationNs() <= 0 {
+		t.Fatal("modeled time not accounted")
+	}
+	if dp.Name() != "FEKF[2 GPUs]" {
+		t.Fatalf("name = %q", dp.Name())
+	}
+	if dp.Workers() != 2 || len(dp.Devices()) != 2 {
+		t.Fatal("worker bookkeeping wrong")
+	}
+}

@@ -1,0 +1,180 @@
+// Package cluster simulates the paper's multi-GPU data-parallel training:
+// worker goroutines stand in for GPU ranks, exchanging gradient chunks
+// over channels with a real ring-allreduce (scatter-reduce + allgather, the
+// Horovod algorithm), while a cost model accounts wire bytes and modeled
+// transfer time on the paper's 25 GB/s RoCE interconnect.
+//
+// The central scalability property being reproduced (Section 3.3): FEKF
+// allreduces only the reduced gradient g and the scalar ABE, never the
+// error-covariance blocks P — averaging g and ABE keeps every rank's P
+// replica bit-identical, so P communication is eliminated entirely,
+// whereas the fusiform Naive-EKF would ship O((r−1)·N·N_b) covariance
+// bytes per iteration.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Interconnect models the cluster fabric.
+type Interconnect struct {
+	// BytesPerNs is the link bandwidth (paper: 25 GB/s RoCE = 25 B/ns).
+	BytesPerNs float64
+	// StepLatencyNs is the per-message latency of one ring step.
+	StepLatencyNs float64
+}
+
+// RoCE25 returns the paper's interconnect model.
+func RoCE25() Interconnect { return Interconnect{BytesPerNs: 25, StepLatencyNs: 5000} }
+
+// Ring is an allreduce communicator over r in-process ranks.
+type Ring struct {
+	size  int
+	model Interconnect
+
+	// links[i] carries messages from rank i-1 to rank i.
+	links []chan []float64
+
+	wireBytes atomic.Int64
+	// modeled transfer picoseconds accumulated over all operations
+	modeledPs atomic.Int64
+	// barrier support for lockstep phases
+	mu      sync.Mutex
+	arrived int
+	gen     int
+	cond    *sync.Cond
+}
+
+// NewRing creates a communicator for size ranks.
+func NewRing(size int, model Interconnect) *Ring {
+	if size < 1 {
+		panic("cluster: ring size must be >= 1")
+	}
+	r := &Ring{size: size, model: model}
+	r.links = make([]chan []float64, size)
+	for i := range r.links {
+		r.links[i] = make(chan []float64, 1)
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Size returns the number of ranks.
+func (r *Ring) Size() int { return r.size }
+
+// WireBytes returns the total bytes that crossed the (simulated) fabric.
+func (r *Ring) WireBytes() int64 { return r.wireBytes.Load() }
+
+// ModeledNs returns the modeled cumulative communication time of the
+// busiest path (per-rank serialized steps).
+func (r *Ring) ModeledNs() float64 { return float64(r.modeledPs.Load()) / 1000 }
+
+// Barrier blocks until every rank has arrived.
+func (r *Ring) Barrier() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gen := r.gen
+	r.arrived++
+	if r.arrived == r.size {
+		r.arrived = 0
+		r.gen++
+		r.cond.Broadcast()
+		return
+	}
+	for gen == r.gen {
+		r.cond.Wait()
+	}
+}
+
+// send transfers a chunk to the next rank and accounts it.
+func (r *Ring) send(rank int, chunk []float64) {
+	next := (rank + 1) % r.size
+	n := int64(len(chunk)) * 8
+	r.wireBytes.Add(n)
+	r.links[next] <- chunk
+}
+
+// accountStep charges the modeled time of one ring step (all ranks move a
+// chunk concurrently, so the step costs one chunk transfer plus latency).
+func (r *Ring) accountStep(chunkBytes int64) {
+	ns := r.model.StepLatencyNs
+	if r.model.BytesPerNs > 0 {
+		ns += float64(chunkBytes) / r.model.BytesPerNs
+	}
+	r.modeledPs.Add(int64(ns * 1000))
+}
+
+// Allreduce sums data element-wise across all ranks, in place, using the
+// ring scatter-reduce + allgather schedule.  Every rank must call it with
+// an equal-length slice; the call blocks until the collective completes.
+func (r *Ring) Allreduce(rank int, data []float64) {
+	if r.size == 1 {
+		return
+	}
+	n := len(data)
+	bounds := make([][2]int, r.size)
+	for c := 0; c < r.size; c++ {
+		lo := c * n / r.size
+		hi := (c + 1) * n / r.size
+		bounds[c] = [2]int{lo, hi}
+	}
+	chunkOf := func(c int) []float64 {
+		return data[bounds[c][0]:bounds[c][1]]
+	}
+
+	// scatter-reduce: after step s, rank i holds the running sum of chunk
+	// (i-s-1 mod size) from s+2 ranks.
+	for s := 0; s < r.size-1; s++ {
+		sendIdx := mod(rank-s, r.size)
+		out := chunkOf(sendIdx)
+		buf := make([]float64, len(out))
+		copy(buf, out)
+		r.send(rank, buf)
+		in := <-r.links[rank]
+		recvIdx := mod(rank-s-1, r.size)
+		dst := chunkOf(recvIdx)
+		if len(in) != len(dst) {
+			panic(fmt.Sprintf("cluster: chunk size mismatch %d vs %d", len(in), len(dst)))
+		}
+		for k, v := range in {
+			dst[k] += v
+		}
+		if rank == 0 {
+			r.accountStep(int64(len(in)) * 8)
+		}
+		r.Barrier()
+	}
+
+	// allgather: circulate the fully reduced chunks.
+	for s := 0; s < r.size-1; s++ {
+		sendIdx := mod(rank+1-s, r.size)
+		out := chunkOf(sendIdx)
+		buf := make([]float64, len(out))
+		copy(buf, out)
+		r.send(rank, buf)
+		in := <-r.links[rank]
+		recvIdx := mod(rank-s, r.size)
+		copy(chunkOf(recvIdx), in)
+		if rank == 0 {
+			r.accountStep(int64(len(in)) * 8)
+		}
+		r.Barrier()
+	}
+}
+
+// AllreduceScalars sums a small fixed set of scalars across ranks (the ABE
+// and sample-count exchange, the O(#GPUs) term of the paper's
+// communication analysis).
+func (r *Ring) AllreduceScalars(rank int, vals []float64) {
+	r.Allreduce(rank, vals)
+}
+
+func mod(a, m int) int {
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}

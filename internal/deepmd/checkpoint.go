@@ -1,0 +1,74 @@
+package deepmd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"fekf/internal/tensor"
+)
+
+// checkpoint is the on-disk form of a model: the configuration, the
+// environment normalization, and every parameter tensor in registration
+// order.
+type checkpoint struct {
+	Cfg    Config
+	SNorm  []float64
+	Level  OptLevel
+	Shapes [][2]int
+	Values [][]float64
+}
+
+// Save writes the model weights and configuration to path (gob encoding).
+func (m *Model) Save(path string) error {
+	ck := checkpoint{
+		Cfg:   m.Cfg,
+		SNorm: append([]float64(nil), m.SNorm...),
+		Level: m.Level,
+	}
+	for _, t := range m.Params.Tensors() {
+		ck.Shapes = append(ck.Shapes, [2]int{t.Rows, t.Cols})
+		ck.Values = append(ck.Values, append([]float64(nil), t.Data...))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&ck); err != nil {
+		return fmt.Errorf("deepmd: encode checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a model checkpoint written by Save and reconstructs the
+// model (on the default device; set Dev afterwards for placement).
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ck checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("deepmd: decode checkpoint %s: %w", path, err)
+	}
+	m, err := NewModel(ck.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	ts := m.Params.Tensors()
+	if len(ts) != len(ck.Values) {
+		return nil, fmt.Errorf("deepmd: checkpoint has %d tensors, model %d", len(ck.Values), len(ts))
+	}
+	for i, t := range ts {
+		if t.Rows != ck.Shapes[i][0] || t.Cols != ck.Shapes[i][1] {
+			return nil, fmt.Errorf("deepmd: checkpoint tensor %d is %dx%d, model wants %dx%d",
+				i, ck.Shapes[i][0], ck.Shapes[i][1], t.Rows, t.Cols)
+		}
+		t.CopyFrom(tensor.FromSlice(t.Rows, t.Cols, ck.Values[i]))
+	}
+	copy(m.SNorm, ck.SNorm)
+	m.Level = ck.Level
+	return m, nil
+}

@@ -1,0 +1,200 @@
+package deepmd
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"fekf/internal/md"
+)
+
+// TestEnvGeometricDerivatives checks the per-entry ∂R̃/∂d tables against
+// finite differences of the actual R̃ rows under atom displacement — the
+// constant data the prod_force chain rule consumes.
+func TestEnvGeometricDerivatives(t *testing.T) {
+	ds := testData(t, "Cu", 1)
+	sys := SnapshotSystem(ds, &ds.Snapshots[0])
+	cfg := TinyConfig(sys)
+	env, err := BuildEnv(cfg, []*md.System{sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// pick a handful of entries; displace the NEIGHBOR atom and compare
+	// the row change against A·Δd.  Use entries where i != j to avoid
+	// self-image cancellation.
+	const h = 1e-6
+	checked := 0
+	for _, e := range env.Entries[0] {
+		if e.I == e.J || checked >= 6 {
+			continue
+		}
+		checked++
+		for dim := 0; dim < 3; dim++ {
+			// displace neighbor by +h along dim
+			sys.Pos[3*e.J+dim] += h
+			envP, err := BuildEnv(cfg, []*md.System{sys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Pos[3*e.J+dim] -= 2 * h
+			envM, err := BuildEnv(cfg, []*md.System{sys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Pos[3*e.J+dim] += h
+
+			for c := 0; c < 4; c++ {
+				num := (envP.R[0].At(e.Row, c) - envM.R[0].At(e.Row, c)) / (2 * h)
+				if math.Abs(num-e.A[c][dim]) > 1e-4*(1+math.Abs(num)) {
+					t.Fatalf("entry row %d: dR[%d]/dd[%d] = %v, numeric %v",
+						e.Row, c, dim, e.A[c][dim], num)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no entries checked")
+	}
+}
+
+// TestEnvDeterministic: building the same system twice gives identical
+// matrices (slot assignment must be stable).
+func TestEnvDeterministic(t *testing.T) {
+	ds := testData(t, "Cu", 1)
+	sys := SnapshotSystem(ds, &ds.Snapshots[0])
+	cfg := TinyConfig(sys)
+	e1, err := BuildEnv(cfg, []*md.System{sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := BuildEnv(cfg, []*md.System{sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e1.R[0].Data {
+		if e1.R[0].Data[i] != e2.R[0].Data[i] {
+			t.Fatal("environment build not deterministic")
+		}
+	}
+	if len(e1.Entries[0]) != len(e2.Entries[0]) {
+		t.Fatal("entry lists differ")
+	}
+}
+
+// TestEnvBatchIsPerImageBlockwise: a two-image batch must embed each
+// image's single-image environment in its block.
+func TestEnvBatchIsPerImageBlockwise(t *testing.T) {
+	ds := testData(t, "Cu", 2)
+	cfg := TinyConfig(SnapshotSystem(ds, &ds.Snapshots[0]))
+	batch, err := BuildBatchEnv(cfg, ds, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		single, err := BuildBatchEnv(cfg, ds, []int{k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nm := cfg.MaxNeighbors[0]
+		na := single.NaPer
+		off := k * na * nm * 4
+		for i, v := range single.R[0].Data {
+			if batch.R[0].Data[off+i] != v {
+				t.Fatalf("image %d: batch env differs from single env at %d", k, i)
+			}
+		}
+	}
+	if got := len(batch.TypeRows[0]); got != 2*batch.NaPer {
+		t.Fatalf("type rows = %d", got)
+	}
+}
+
+// TestPotentialAdapterMatchesForward: the NNMD adapter must agree with a
+// direct model evaluation.
+func TestPotentialAdapterMatchesForward(t *testing.T) {
+	ds := testData(t, "Cu", 1)
+	m := testModel(t, ds, OptAll)
+	sys := SnapshotSystem(ds, &ds.Snapshots[0])
+
+	ad := PotentialAdapter{M: m}
+	e, f := ad.Compute(sys, nil)
+
+	env, err := BuildEnv(m.Cfg, []*md.System{sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Forward(env, true)
+	if math.Abs(e-out.Energies.Value.Data[0]) > 1e-12 {
+		t.Fatalf("adapter E %v vs forward %v", e, out.Energies.Value.Data[0])
+	}
+	for i := range f {
+		if math.Abs(f[i]-out.Forces.Value.Data[i]) > 1e-12 {
+			t.Fatal("adapter forces differ")
+		}
+	}
+	if ad.Cutoff() != m.Cfg.Rc {
+		t.Fatal("adapter cutoff")
+	}
+}
+
+// TestNNMDDrivesStableMD: a freshly initialized (untrained but bias-
+// corrected) model must drive a short MD run without NaNs — the inference
+// path the training pipeline serves.
+func TestNNMDDrivesStableMD(t *testing.T) {
+	ds := testData(t, "Cu", 2)
+	m := testModel(t, ds, OptAll)
+	spec, err := md.GetSystem("Cu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _ := spec.TinyBuild()
+	rng := newTestRng()
+	sys.InitVelocities(300, rng)
+	lg := md.NewLangevin(PotentialAdapter{M: m}, 1.0, 300, rng)
+	lg.Run(sys, 10, 0, nil)
+	for _, v := range sys.Pos {
+		if math.IsNaN(v) {
+			t.Fatal("NNMD produced NaN positions")
+		}
+	}
+}
+
+func newTestRng() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ds := testData(t, "Cu", 2)
+	m := testModel(t, ds, OptFused)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumParams() != m.NumParams() || got.Level != m.Level {
+		t.Fatal("checkpoint lost structure")
+	}
+	if got.SNorm[0] != m.SNorm[0] {
+		t.Fatal("checkpoint lost normalization")
+	}
+	// identical predictions
+	env, err := BuildBatchEnv(m.Cfg, ds, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Dev = m.Dev
+	e1 := m.Forward(env, false).Energies.Value.Data[0]
+	e2 := got.Forward(env, false).Energies.Value.Data[0]
+	if e1 != e2 {
+		t.Fatalf("checkpointed model predicts %v, original %v", e2, e1)
+	}
+}
+
+func TestLoadMissingCheckpoint(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("expected error")
+	}
+}

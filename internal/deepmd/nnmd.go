@@ -1,0 +1,29 @@
+package deepmd
+
+import "fekf/internal/md"
+
+// PotentialAdapter drives molecular dynamics with a trained model: it
+// implements md.Potential, so a fitted network can replace the reference
+// potential in the Langevin integrator — the "neural network molecular
+// dynamics" deployment the paper's training pipeline exists to serve.
+type PotentialAdapter struct {
+	M *Model
+}
+
+// Cutoff returns the descriptor cutoff radius.
+func (p PotentialAdapter) Cutoff() float64 { return p.M.Cfg.Rc }
+
+// Compute evaluates the model's energy and forces for the system.  The
+// neighbor list argument is ignored: the descriptor builds its own
+// type-blocked environment (with periodic images) internally.
+func (p PotentialAdapter) Compute(s *md.System, _ *md.NeighborList) (float64, []float64) {
+	env, err := BuildEnv(p.M.Cfg, []*md.System{s})
+	if err != nil {
+		panic(err) // system/config mismatch is a programming error here
+	}
+	out := p.M.Forward(env, true)
+	e := out.Energies.Value.Data[0]
+	f := append([]float64(nil), out.Forces.Value.Data...)
+	out.Graph.Release()
+	return e, f
+}

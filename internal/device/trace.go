@@ -1,0 +1,85 @@
+package device
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// Tracer records kernel launches as a chrome://tracing ("trace event
+// format") timeline, the profiling view used to produce figures like the
+// paper's kernel-count study.  Attach one to a device with StartTrace;
+// events are placed on the modeled-time axis, one track per phase.
+type Tracer struct {
+	mu     sync.Mutex
+	events []traceEvent
+	// cursor per phase, microseconds on the modeled clock
+	cursors [numPhases]float64
+}
+
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`  // microseconds
+	Dur   float64 `json:"dur"` // microseconds
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// StartTrace attaches a tracer to the device; subsequent launches are
+// recorded until StopTrace.
+func (d *Device) StartTrace() *Tracer {
+	t := &Tracer{}
+	d.mu.Lock()
+	d.tracer = t
+	d.mu.Unlock()
+	return t
+}
+
+// StopTrace detaches the tracer.
+func (d *Device) StopTrace() {
+	d.mu.Lock()
+	d.tracer = nil
+	d.mu.Unlock()
+}
+
+// record adds one kernel with the given modeled duration to the phase's
+// track.
+func (t *Tracer) record(name string, phase Phase, durNs float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := int(phase)
+	if p < 0 || p >= int(numPhases) {
+		p = int(PhaseOther)
+	}
+	us := durNs / 1000
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: Phase(p).String(), Phase: "X",
+		TS: t.cursors[p], Dur: us, PID: 1, TID: p + 1,
+	})
+	t.cursors[p] += us
+}
+
+// NumEvents returns the number of recorded kernels.
+func (t *Tracer) NumEvents() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON writes the timeline in trace-event format; open the file in
+// chrome://tracing or Perfetto.
+func (t *Tracer) WriteJSON(path string) error {
+	t.mu.Lock()
+	evs := append([]traceEvent(nil), t.events...)
+	t.mu.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewEncoder(f).Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{evs})
+}

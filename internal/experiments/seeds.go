@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fekf/internal/stats"
+)
+
+// SeededResults holds the per-seed suites of one system, supporting the
+// paper's ±-error reporting (Tables 1 and 4 quote mean ±std over repeated
+// runs).
+type SeededResults struct {
+	System string
+	Runs   []SystemResult
+}
+
+// RunSuiteSeeds repeats the system suite for each seed.  It is expensive
+// (one full suite per seed); the recorded EXPERIMENTS.md uses single-seed
+// runs and this entry point exists for users who want error bars.
+func RunSuiteSeeds(system string, opts Options, seeds []int64) (SeededResults, error) {
+	out := SeededResults{System: system}
+	for _, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		sr, err := RunSystemSuite(system, o)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s seed %d: %w", system, seed, err)
+		}
+		out.Runs = append(out.Runs, sr)
+	}
+	return out, nil
+}
+
+// Summitem extracts one metric across the seeds.
+func (s SeededResults) summary(get func(SystemResult) float64) stats.Summary {
+	vals := make([]float64, 0, len(s.Runs))
+	for _, r := range s.Runs {
+		vals = append(vals, get(r))
+	}
+	return stats.Summarize(vals)
+}
+
+// Report prints the mean ±std of the headline metrics in the paper's
+// Table 4 style.
+func (s SeededResults) Report(w io.Writer) {
+	if len(s.Runs) == 0 {
+		fmt.Fprintf(w, "%s: no runs\n", s.System)
+		return
+	}
+	adamTrain := s.summary(func(r SystemResult) float64 { return r.AdamBS1.TrainE })
+	adamTest := s.summary(func(r SystemResult) float64 { return r.AdamBS1.TestE })
+	fekfTrain := s.summary(func(r SystemResult) float64 { return r.FEKF.TrainE })
+	fekfTest := s.summary(func(r SystemResult) float64 { return r.FEKF.TestE })
+	fmt.Fprintf(w, "%s over %d seeds (per-atom energy RMSE, mean ±std):\n", s.System, len(s.Runs))
+	fmt.Fprintf(w, "  Adam bs=1   train %s  test %s\n", adamTrain.PlusMinus(5), adamTest.PlusMinus(5))
+	fmt.Fprintf(w, "  FEKF bs=32  train %s  test %s\n", fekfTrain.PlusMinus(5), fekfTest.PlusMinus(5))
+	epochs := s.summary(func(r SystemResult) float64 { return float64(r.AdamBS1.Epochs) })
+	fmt.Fprintf(w, "  Adam epochs to target: %s\n", epochs.PlusMinus(1))
+}

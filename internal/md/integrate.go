@@ -1,0 +1,110 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Langevin integrates the system with velocity Verlet plus a Langevin
+// thermostat, the sampler used to generate the labelled trajectories.
+type Langevin struct {
+	Pot      Potential
+	Dt       float64 // timestep, fs
+	Friction float64 // 1/fs (γ); 0.01-0.1 gives gentle coupling
+	T        float64 // target temperature, K
+	Rng      *rand.Rand
+
+	// RebuildEvery controls how many steps a neighbor list is reused; the
+	// list is built with a skin margin so this is safe for small values.
+	RebuildEvery int
+	Skin         float64
+
+	forces []float64
+	nl     *NeighborList
+	step   int
+	energy float64
+}
+
+// NewLangevin returns an integrator with sensible defaults.
+func NewLangevin(pot Potential, dt, temperature float64, rng *rand.Rand) *Langevin {
+	return &Langevin{
+		Pot:          pot,
+		Dt:           dt,
+		Friction:     0.05,
+		T:            temperature,
+		Rng:          rng,
+		RebuildEvery: 10,
+		Skin:         1.0,
+	}
+}
+
+// Energy returns the potential energy at the most recent step.
+func (lg *Langevin) Energy() float64 { return lg.energy }
+
+// Forces returns the forces at the most recent step (aliased, do not modify).
+func (lg *Langevin) Forces() []float64 { return lg.forces }
+
+func (lg *Langevin) refresh(s *System) {
+	if lg.nl == nil || lg.step%lg.RebuildEvery == 0 {
+		// Wrapping is only safe at rebuild time: stored image shifts are
+		// relative to the positions the list was built from.
+		s.Wrap()
+		lg.nl = BuildNeighbors(s, lg.Pot.Cutoff()+lg.Skin)
+	} else {
+		lg.nl.Refresh(s)
+	}
+	lg.energy, lg.forces = lg.Pot.Compute(s, lg.nl)
+}
+
+// Step advances the system by one timestep.
+func (lg *Langevin) Step(s *System) {
+	if lg.forces == nil {
+		lg.refresh(s)
+	}
+	dt := lg.Dt
+	n := s.NumAtoms()
+
+	// half kick + drift
+	for i := 0; i < n; i++ {
+		m := s.Species[s.Types[i]].Mass
+		for d := 0; d < 3; d++ {
+			s.Vel[3*i+d] += 0.5 * dt * lg.forces[3*i+d] / m * ForceToAccel
+			s.Pos[3*i+d] += dt * s.Vel[3*i+d]
+		}
+	}
+
+	lg.step++
+	lg.refresh(s)
+
+	// second half kick
+	for i := 0; i < n; i++ {
+		m := s.Species[s.Types[i]].Mass
+		for d := 0; d < 3; d++ {
+			s.Vel[3*i+d] += 0.5 * dt * lg.forces[3*i+d] / m * ForceToAccel
+		}
+	}
+
+	// Ornstein-Uhlenbeck thermostat kick
+	if lg.Friction > 0 {
+		c1 := math.Exp(-lg.Friction * dt)
+		for i := 0; i < n; i++ {
+			m := s.Species[s.Types[i]].Mass
+			c2 := math.Sqrt((1 - c1*c1) * KB * lg.T / m * ForceToAccel)
+			for d := 0; d < 3; d++ {
+				s.Vel[3*i+d] = c1*s.Vel[3*i+d] + c2*lg.Rng.NormFloat64()
+			}
+		}
+	}
+}
+
+// Run advances nSteps steps and invokes sample (if non-nil) every
+// sampleEvery steps with the step index.
+func (lg *Langevin) Run(s *System, nSteps, sampleEvery int, sample func(step int)) {
+	lg.refresh(s)
+	for i := 1; i <= nSteps; i++ {
+		lg.Step(s)
+		if sample != nil && sampleEvery > 0 && i%sampleEvery == 0 {
+			sample(i)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package md
+
+import "math"
+
+// buildCrystal tiles a cubic (or tetragonal) unit cell nx×ny×nz times.
+// basis holds fractional coordinates and a species index per basis atom.
+func buildCrystal(a [3]float64, basis [][4]float64, n [3]int, species []Species) *System {
+	s := &System{
+		Box:     [3]float64{a[0] * float64(n[0]), a[1] * float64(n[1]), a[2] * float64(n[2])},
+		Species: species,
+	}
+	for ix := 0; ix < n[0]; ix++ {
+		for iy := 0; iy < n[1]; iy++ {
+			for iz := 0; iz < n[2]; iz++ {
+				for _, b := range basis {
+					s.Pos = append(s.Pos,
+						(float64(ix)+b[0])*a[0],
+						(float64(iy)+b[1])*a[1],
+						(float64(iz)+b[2])*a[2])
+					s.Types = append(s.Types, int(b[3]))
+				}
+			}
+		}
+	}
+	s.Vel = make([]float64, 3*s.NumAtoms())
+	return s
+}
+
+// FCC builds an n³ face-centered-cubic supercell with lattice constant a
+// (4 atoms per cell): the Cu and Al structures.
+func FCC(a float64, n int, sp Species) *System {
+	basis := [][4]float64{{0, 0, 0, 0}, {0.5, 0.5, 0, 0}, {0.5, 0, 0.5, 0}, {0, 0.5, 0.5, 0}}
+	return buildCrystal([3]float64{a, a, a}, basis, [3]int{n, n, n}, []Species{sp})
+}
+
+// HCP builds a hexagonal-close-packed supercell approximated on an
+// orthorhombic cell (4 atoms per cell, a×a√3×c): the Mg structure.
+func HCP(a, c float64, n [3]int, sp Species) *System {
+	b := a * math.Sqrt(3)
+	basis := [][4]float64{
+		{0, 0, 0, 0}, {0.5, 0.5, 0, 0},
+		{0.5, 1.0 / 6, 0.5, 0}, {0, 2.0 / 3, 0.5, 0},
+	}
+	return buildCrystal([3]float64{a, b, c}, basis, n, []Species{sp})
+}
+
+// Diamond builds an n³ diamond-cubic supercell (8 atoms per cell): the Si
+// structure.
+func Diamond(a float64, n int, sp Species) *System {
+	basis := [][4]float64{
+		{0, 0, 0, 0}, {0.5, 0.5, 0, 0}, {0.5, 0, 0.5, 0}, {0, 0.5, 0.5, 0},
+		{0.25, 0.25, 0.25, 0}, {0.75, 0.75, 0.25, 0}, {0.75, 0.25, 0.75, 0}, {0.25, 0.75, 0.75, 0},
+	}
+	return buildCrystal([3]float64{a, a, a}, basis, [3]int{n, n, n}, []Species{sp})
+}
+
+// RockSalt builds an n³ rock-salt supercell (4 formula units per cell):
+// the NaCl and (approximate) CuO structures.  Species 0 is the cation,
+// species 1 the anion.
+func RockSalt(a float64, n int, cation, anion Species) *System {
+	basis := [][4]float64{
+		{0, 0, 0, 0}, {0.5, 0.5, 0, 0}, {0.5, 0, 0.5, 0}, {0, 0.5, 0.5, 0},
+		{0.5, 0, 0, 1}, {0, 0.5, 0, 1}, {0, 0, 0.5, 1}, {0.5, 0.5, 0.5, 1},
+	}
+	return buildCrystal([3]float64{a, a, a}, basis, [3]int{n, n, n}, []Species{cation, anion})
+}
+
+// Fluorite builds an n³ fluorite (CaF₂-type) supercell, the cubic HfO₂
+// structure: 4 cations + 8 anions per cell.  Species 0 is the cation,
+// species 1 the anion.
+func Fluorite(a float64, n int, cation, anion Species) *System {
+	basis := [][4]float64{
+		{0, 0, 0, 0}, {0.5, 0.5, 0, 0}, {0.5, 0, 0.5, 0}, {0, 0.5, 0.5, 0},
+		{0.25, 0.25, 0.25, 1}, {0.75, 0.25, 0.25, 1}, {0.25, 0.75, 0.25, 1}, {0.25, 0.25, 0.75, 1},
+		{0.75, 0.75, 0.25, 1}, {0.75, 0.25, 0.75, 1}, {0.25, 0.75, 0.75, 1}, {0.75, 0.75, 0.75, 1},
+	}
+	return buildCrystal([3]float64{a, a, a}, basis, [3]int{n, n, n}, []Species{cation, anion})
+}
+
+// WaterBox places nMol water molecules on a cubic grid inside a box of
+// edge l, oriented along alternating axes.  Species 0 is O, species 1 is H.
+// Molecules are listed O,H,H consecutively, the layout the water potential
+// expects.
+func WaterBox(l float64, nMol int, oxy, hyd Species) *System {
+	s := &System{Box: [3]float64{l, l, l}, Species: []Species{oxy, hyd}}
+	grid := int(math.Ceil(math.Cbrt(float64(nMol))))
+	spacing := l / float64(grid)
+	const rOH = 0.9572
+	const halfAngle = 104.52 / 2 * math.Pi / 180
+	placed := 0
+	for ix := 0; ix < grid && placed < nMol; ix++ {
+		for iy := 0; iy < grid && placed < nMol; iy++ {
+			for iz := 0; iz < grid && placed < nMol; iz++ {
+				ox := (float64(ix) + 0.5) * spacing
+				oy := (float64(iy) + 0.5) * spacing
+				oz := (float64(iz) + 0.5) * spacing
+				// alternate the molecular plane among xy/yz/zx to avoid a
+				// perfectly aligned (and thus atypical) starting lattice
+				ax := placed % 3
+				hx := rOH * math.Sin(halfAngle)
+				hz := rOH * math.Cos(halfAngle)
+				var h1, h2 [3]float64
+				switch ax {
+				case 0:
+					h1 = [3]float64{ox + hx, oy, oz + hz}
+					h2 = [3]float64{ox - hx, oy, oz + hz}
+				case 1:
+					h1 = [3]float64{ox, oy + hx, oz + hz}
+					h2 = [3]float64{ox, oy - hx, oz + hz}
+				default:
+					h1 = [3]float64{ox + hz, oy + hx, oz}
+					h2 = [3]float64{ox + hz, oy - hx, oz}
+				}
+				s.Pos = append(s.Pos, ox, oy, oz, h1[0], h1[1], h1[2], h2[0], h2[1], h2[2])
+				s.Types = append(s.Types, 0, 1, 1)
+				placed++
+			}
+		}
+	}
+	s.Vel = make([]float64, 3*s.NumAtoms())
+	s.Wrap()
+	return s
+}

@@ -1,0 +1,127 @@
+package md
+
+import "math"
+
+// Potential is a classical interatomic potential: given a system and a
+// neighbor list built with at least the potential's cutoff, Compute returns
+// the total potential energy and the per-atom forces (3N, eV/Å).
+//
+// These potentials stand in for the paper's ab initio (DFT) calculators:
+// they define the ground-truth potential-energy surface that the DeePMD
+// network is trained to reproduce.
+type Potential interface {
+	Compute(s *System, nl *NeighborList) (energy float64, forces []float64)
+	Cutoff() float64
+}
+
+// ComputeAll builds the neighbor list and evaluates p on s.
+func ComputeAll(p Potential, s *System) (float64, []float64) {
+	return p.Compute(s, BuildNeighbors(s, p.Cutoff()))
+}
+
+// switchFn is a C² taper that is 1 below ron, 0 above rc, used to truncate
+// pair potentials smoothly.  Returns the weight and its derivative.
+func switchFn(r, ron, rc float64) (w, dw float64) {
+	switch {
+	case r <= ron:
+		return 1, 0
+	case r >= rc:
+		return 0, 0
+	default:
+		u := (r - ron) / (rc - ron)
+		w = u*u*u*(-6*u*u+15*u-10) + 1
+		dw = (u * u * (-30*u*u + 60*u - 30)) / (rc - ron)
+		return w, dw
+	}
+}
+
+// Morse is a pairwise Morse potential with a smooth taper, used for the
+// metallic systems (Cu, Al, Mg).  V(r) = D[(1-e^{-a(r-r0)})² - 1]·w(r).
+type Morse struct {
+	D, A, R0 float64 // well depth (eV), stiffness (1/Å), equilibrium (Å)
+	Ron, Rc  float64 // taper window (Å)
+}
+
+// Cutoff returns the interaction range.
+func (m Morse) Cutoff() float64 { return m.Rc }
+
+// Compute evaluates the Morse energy and forces.
+func (m Morse) Compute(s *System, nl *NeighborList) (float64, []float64) {
+	n := s.NumAtoms()
+	f := make([]float64, 3*n)
+	e := 0.0
+	// Full-list half-weight sum: every directed (i→j, image) entry carries
+	// half the pair energy/force; the mirrored entry supplies the rest.
+	for i := 0; i < n; i++ {
+		for _, nb := range nl.Lists[i] {
+			if nb.R >= m.Rc {
+				continue
+			}
+			ex := math.Exp(-m.A * (nb.R - m.R0))
+			phi := m.D * ((1-ex)*(1-ex) - 1)
+			dphi := 2 * m.D * m.A * ex * (1 - ex)
+			w, dw := switchFn(nb.R, m.Ron, m.Rc)
+			e += 0.5 * phi * w
+			// dV/dr, then project on the unit vector; force on j is -dV/dr·r̂
+			dV := 0.5 * (dphi*w + phi*dw)
+			fx := -dV * nb.Dx / nb.R
+			fy := -dV * nb.Dy / nb.R
+			fz := -dV * nb.Dz / nb.R
+			f[3*nb.J] += fx
+			f[3*nb.J+1] += fy
+			f[3*nb.J+2] += fz
+			f[3*i] -= fx
+			f[3*i+1] -= fy
+			f[3*i+2] -= fz
+		}
+	}
+	return e, f
+}
+
+// LennardJones is a 12-6 pair potential with a smooth taper; it is used as
+// a simple test potential and for the O-O dispersion term of water.
+type LennardJones struct {
+	Eps, Sigma float64
+	Ron, Rc    float64
+}
+
+// Cutoff returns the interaction range.
+func (lj LennardJones) Cutoff() float64 { return lj.Rc }
+
+// pairLJ returns V(r) and dV/dr of the tapered LJ interaction.
+func (lj LennardJones) pairLJ(r float64) (v, dv float64) {
+	sr := lj.Sigma / r
+	sr6 := sr * sr * sr * sr * sr * sr
+	sr12 := sr6 * sr6
+	phi := 4 * lj.Eps * (sr12 - sr6)
+	dphi := 4 * lj.Eps * (-12*sr12 + 6*sr6) / r
+	w, dw := switchFn(r, lj.Ron, lj.Rc)
+	return phi * w, dphi*w + phi*dw
+}
+
+// Compute evaluates the LJ energy and forces.
+func (lj LennardJones) Compute(s *System, nl *NeighborList) (float64, []float64) {
+	n := s.NumAtoms()
+	f := make([]float64, 3*n)
+	e := 0.0
+	for i := 0; i < n; i++ {
+		for _, nb := range nl.Lists[i] {
+			if nb.R >= lj.Rc {
+				continue
+			}
+			v, dv := lj.pairLJ(nb.R)
+			e += 0.5 * v
+			dv *= 0.5
+			fx := -dv * nb.Dx / nb.R
+			fy := -dv * nb.Dy / nb.R
+			fz := -dv * nb.Dz / nb.R
+			f[3*nb.J] += fx
+			f[3*nb.J+1] += fy
+			f[3*nb.J+2] += fz
+			f[3*i] -= fx
+			f[3*i+1] -= fy
+			f[3*i+2] -= fz
+		}
+	}
+	return e, f
+}

@@ -1,0 +1,156 @@
+package md
+
+import "math"
+
+// RDF accumulates a radial distribution function g(r) over trajectory
+// frames — the standard structural observable for validating that a
+// fitted NNMD potential reproduces the reference liquid/solid structure.
+type RDF struct {
+	RMax float64
+	Bins int
+
+	typeA, typeB int
+	hist         []float64
+	frames       int
+	// per-frame normalization accumulator: nA·nB/V
+	density float64
+}
+
+// NewRDF prepares a g(r) accumulator between species typeA and typeB
+// (pass the same index twice for a like-pair RDF).
+func NewRDF(typeA, typeB int, rMax float64, bins int) *RDF {
+	if bins < 1 || rMax <= 0 {
+		panic("md: RDF needs positive bins and rMax")
+	}
+	return &RDF{RMax: rMax, Bins: bins, typeA: typeA, typeB: typeB, hist: make([]float64, bins)}
+}
+
+// Accumulate adds one frame's pair distances.
+func (r *RDF) Accumulate(s *System) {
+	nl := BuildNeighbors(s, r.RMax)
+	var nA, nB int
+	for _, t := range s.Types {
+		if t == r.typeA {
+			nA++
+		}
+		if t == r.typeB {
+			nB++
+		}
+	}
+	if nA == 0 || nB == 0 {
+		return
+	}
+	dr := r.RMax / float64(r.Bins)
+	for i := 0; i < s.NumAtoms(); i++ {
+		if s.Types[i] != r.typeA {
+			continue
+		}
+		for _, nb := range nl.Lists[i] {
+			if s.Types[nb.J] != r.typeB || nb.R >= r.RMax {
+				continue
+			}
+			bin := int(nb.R / dr)
+			if bin >= 0 && bin < r.Bins {
+				r.hist[bin]++
+			}
+		}
+	}
+	r.frames++
+	r.density += float64(nA) * float64(nB) / s.Volume()
+}
+
+// Curve returns the bin centers and the normalized g(r).  Normalization
+// uses the ideal-gas pair count nA·nB/V·4πr²dr per frame, so a structure-
+// less fluid gives g(r) → 1 at large r.
+func (r *RDF) Curve() (rs, g []float64) {
+	rs = make([]float64, r.Bins)
+	g = make([]float64, r.Bins)
+	if r.frames == 0 {
+		return rs, g
+	}
+	dr := r.RMax / float64(r.Bins)
+	meanDensity := r.density / float64(r.frames)
+	for b := 0; b < r.Bins; b++ {
+		rs[b] = (float64(b) + 0.5) * dr
+		shell := 4 * math.Pi * rs[b] * rs[b] * dr
+		ideal := meanDensity * shell * float64(r.frames)
+		if ideal > 0 {
+			g[b] = r.hist[b] / ideal
+		}
+	}
+	return rs, g
+}
+
+// FirstPeak returns the position and height of the maximum of g(r) — the
+// nearest-neighbor distance, the quantity typically compared between the
+// reference and NNMD trajectories.
+func (r *RDF) FirstPeak() (pos, height float64) {
+	rs, g := r.Curve()
+	for i, v := range g {
+		if v > height {
+			height = v
+			pos = rs[i]
+		}
+	}
+	return pos, height
+}
+
+// MSD accumulates the mean squared displacement of a trajectory, the
+// observable behind diffusion studies (one of the paper's motivating
+// DeePMD applications).  Positions must be *unwrapped*: feed it the raw
+// integrator coordinates before any Wrap call, or sample with a rebuild
+// interval long enough that no wrap occurs between samples.
+type MSD struct {
+	ref     []float64
+	origins int
+	samples []float64
+}
+
+// NewMSD captures the reference (t=0) positions.
+func NewMSD(s *System) *MSD {
+	return &MSD{ref: append([]float64(nil), s.Pos...), origins: s.NumAtoms()}
+}
+
+// Accumulate records the MSD of the current frame relative to t=0.
+func (m *MSD) Accumulate(s *System) {
+	if len(s.Pos) != len(m.ref) {
+		panic("md: MSD atom count changed")
+	}
+	sum := 0.0
+	for i := range s.Pos {
+		d := s.Pos[i] - m.ref[i]
+		sum += d * d
+	}
+	m.samples = append(m.samples, sum/float64(m.origins))
+}
+
+// Series returns the recorded MSD values (Å² per atom) in sample order.
+func (m *MSD) Series() []float64 { return m.samples }
+
+// DiffusionCoefficient estimates D from the slope of the last half of the
+// MSD series via the Einstein relation MSD = 6·D·t, where dtPerSample is
+// the time between samples in fs; returned in Å²/fs.
+func (m *MSD) DiffusionCoefficient(dtPerSample float64) float64 {
+	n := len(m.samples)
+	if n < 4 || dtPerSample <= 0 {
+		return 0
+	}
+	lo := n / 2
+	// least-squares slope through the tail
+	var st, ss, stt, sst float64
+	cnt := 0.0
+	for i := lo; i < n; i++ {
+		t := float64(i+1) * dtPerSample
+		st += t
+		ss += m.samples[i]
+		stt += t * t
+		sst += t * m.samples[i]
+		cnt++
+	}
+	denom := cnt*stt - st*st
+	if denom == 0 {
+		return 0
+	}
+	slope := (cnt*sst - st*ss) / denom
+	return slope / 6
+}

@@ -1,0 +1,154 @@
+package md
+
+import "math"
+
+// StillingerWeber is the classic Si potential: a pairwise term plus a
+// three-body angular term that stabilizes the tetrahedral network.  It is
+// the label generator for the Si dataset.
+type StillingerWeber struct {
+	Eps    float64 // energy scale, eV
+	Sigma  float64 // length scale, Å
+	ACut   float64 // dimensionless cutoff (r_c = ACut·Sigma)
+	BigA   float64
+	BigB   float64
+	P, Q   float64
+	Lambda float64
+	Gamma  float64
+	CosT0  float64 // cos of the ideal angle, -1/3 for tetrahedral
+}
+
+// SWSilicon returns the original Stillinger-Weber parameterization of Si.
+func SWSilicon() StillingerWeber {
+	return StillingerWeber{
+		Eps:    2.1683,
+		Sigma:  2.0951,
+		ACut:   1.80,
+		BigA:   7.049556277,
+		BigB:   0.6022245584,
+		P:      4,
+		Q:      0,
+		Lambda: 21.0,
+		Gamma:  1.20,
+		CosT0:  -1.0 / 3.0,
+	}
+}
+
+// Cutoff returns the interaction range r_c = ACut·Sigma.
+func (sw StillingerWeber) Cutoff() float64 { return sw.ACut * sw.Sigma }
+
+// twoBody returns v2(r) and dv2/dr for r < cutoff.
+func (sw StillingerWeber) twoBody(r float64) (v, dv float64) {
+	rc := sw.Cutoff()
+	if r >= rc {
+		return 0, 0
+	}
+	sr := sw.Sigma / r
+	srp := math.Pow(sr, sw.P)
+	srq := 1.0
+	if sw.Q != 0 {
+		srq = math.Pow(sr, sw.Q)
+	}
+	ex := math.Exp(sw.Sigma / (r - rc))
+	poly := sw.BigB*srp - srq
+	v = sw.BigA * sw.Eps * poly * ex
+	dpoly := (-sw.P*sw.BigB*srp + sw.Q*srq) / r
+	dex := -sw.Sigma / ((r - rc) * (r - rc)) * ex
+	dv = sw.BigA * sw.Eps * (dpoly*ex + poly*dex)
+	return v, dv
+}
+
+// hRadial returns g(r)=exp(γσ/(r−rc)) and its derivative for the
+// three-body term.
+func (sw StillingerWeber) hRadial(r float64) (g, dg float64) {
+	rc := sw.Cutoff()
+	if r >= rc {
+		return 0, 0
+	}
+	g = math.Exp(sw.Gamma * sw.Sigma / (r - rc))
+	dg = -sw.Gamma * sw.Sigma / ((r - rc) * (r - rc)) * g
+	return g, dg
+}
+
+// Compute evaluates the SW energy and forces.
+func (sw StillingerWeber) Compute(s *System, nl *NeighborList) (float64, []float64) {
+	n := s.NumAtoms()
+	f := make([]float64, 3*n)
+	e := 0.0
+	rc := sw.Cutoff()
+
+	// two-body, full-list half-weight (see potential.go)
+	for i := 0; i < n; i++ {
+		for _, nb := range nl.Lists[i] {
+			if nb.R >= rc {
+				continue
+			}
+			v, dv := sw.twoBody(nb.R)
+			e += 0.5 * v
+			dv *= 0.5
+			fx := -dv * nb.Dx / nb.R
+			fy := -dv * nb.Dy / nb.R
+			fz := -dv * nb.Dz / nb.R
+			f[3*nb.J] += fx
+			f[3*nb.J+1] += fy
+			f[3*nb.J+2] += fz
+			f[3*i] -= fx
+			f[3*i+1] -= fy
+			f[3*i+2] -= fz
+		}
+	}
+
+	// three-body: for every central atom i and unordered neighbor pair (j,k)
+	lam := sw.Lambda * sw.Eps
+	for i := 0; i < n; i++ {
+		lst := nl.Lists[i]
+		for a := 0; a < len(lst); a++ {
+			nj := lst[a]
+			if nj.R >= rc {
+				continue
+			}
+			gj, dgj := sw.hRadial(nj.R)
+			for b := a + 1; b < len(lst); b++ {
+				nk := lst[b]
+				if nk.R >= rc {
+					continue
+				}
+				gk, dgk := sw.hRadial(nk.R)
+				dot := nj.Dx*nk.Dx + nj.Dy*nk.Dy + nj.Dz*nk.Dz
+				cosT := dot / (nj.R * nk.R)
+				dc := cosT - sw.CosT0
+				e += lam * dc * dc * gj * gk
+
+				// ∂cosθ/∂d_ij and ∂cosθ/∂d_ik
+				pref := lam * 2 * dc * gj * gk
+				cjx := nk.Dx/(nj.R*nk.R) - cosT*nj.Dx/(nj.R*nj.R)
+				cjy := nk.Dy/(nj.R*nk.R) - cosT*nj.Dy/(nj.R*nj.R)
+				cjz := nk.Dz/(nj.R*nk.R) - cosT*nj.Dz/(nj.R*nj.R)
+				ckx := nj.Dx/(nj.R*nk.R) - cosT*nk.Dx/(nk.R*nk.R)
+				cky := nj.Dy/(nj.R*nk.R) - cosT*nk.Dy/(nk.R*nk.R)
+				ckz := nj.Dz/(nj.R*nk.R) - cosT*nk.Dz/(nk.R*nk.R)
+				// radial parts
+				rj := lam * dc * dc * dgj * gk / nj.R
+				rk := lam * dc * dc * gj * dgk / nk.R
+
+				djx := pref*cjx + rj*nj.Dx
+				djy := pref*cjy + rj*nj.Dy
+				djz := pref*cjz + rj*nj.Dz
+				dkx := pref*ckx + rk*nk.Dx
+				dky := pref*cky + rk*nk.Dy
+				dkz := pref*ckz + rk*nk.Dz
+
+				// d_ij = x_j − x_i so F_j −= dE/dd_ij, F_i += both
+				f[3*nj.J] -= djx
+				f[3*nj.J+1] -= djy
+				f[3*nj.J+2] -= djz
+				f[3*nk.J] -= dkx
+				f[3*nk.J+1] -= dky
+				f[3*nk.J+2] -= dkz
+				f[3*i] += djx + dkx
+				f[3*i+1] += djy + dky
+				f[3*i+2] += djz + dkz
+			}
+		}
+	}
+	return e, f
+}

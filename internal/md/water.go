@@ -1,0 +1,159 @@
+package md
+
+import "math"
+
+// Water is a flexible SPC-like water model: harmonic intramolecular O-H
+// bonds and H-O-H angle, tapered Lennard-Jones between oxygens, and
+// DSF/Wolf Coulomb between atoms of different molecules.  Atoms must be
+// laid out O,H,H per molecule (the WaterBox layout); species 0 is O,
+// species 1 is H.
+type Water struct {
+	KBond  float64 // eV/Å², O-H harmonic constant
+	RBond  float64 // Å, O-H equilibrium length
+	KAngle float64 // eV/rad², H-O-H harmonic constant
+	Theta0 float64 // rad, H-O-H equilibrium angle
+	OO     LennardJones
+	Alpha  float64 // Wolf damping
+	Rc     float64 // Coulomb cutoff
+}
+
+// SPCFlexWater returns a flexible SPC-like parameterization.  Charges are
+// taken from the species table (expected qO=-0.82, qH=+0.41).
+func SPCFlexWater() Water {
+	return Water{
+		KBond:  48.0,
+		RBond:  1.0,
+		KAngle: 3.97,
+		Theta0: 109.47 * math.Pi / 180,
+		OO:     LennardJones{Eps: 0.006739, Sigma: 3.166, Ron: 5.0, Rc: 6.0},
+		Alpha:  0.2,
+		Rc:     6.0,
+	}
+}
+
+// Cutoff returns the interaction range.
+func (w Water) Cutoff() float64 {
+	if w.OO.Rc > w.Rc {
+		return w.OO.Rc
+	}
+	return w.Rc
+}
+
+// Compute evaluates the water energy and forces.
+func (w Water) Compute(s *System, nl *NeighborList) (float64, []float64) {
+	n := s.NumAtoms()
+	if n%3 != 0 {
+		panic("md: Water expects O,H,H molecule layout")
+	}
+	f := make([]float64, 3*n)
+	e := 0.0
+
+	// intramolecular terms, directly by molecule
+	for m := 0; m < n/3; m++ {
+		o, h1, h2 := 3*m, 3*m+1, 3*m+2
+		e += w.bond(s, f, o, h1)
+		e += w.bond(s, f, o, h2)
+		e += w.angle(s, f, h1, o, h2)
+	}
+
+	// intermolecular: O-O LJ and all-pair DSF Coulomb, skipping same-molecule pairs
+	a := w.Alpha
+	erfcRc := math.Erfc(a * w.Rc)
+	eShift := erfcRc / w.Rc
+	fShift := erfcRc/(w.Rc*w.Rc) + 2*a/math.Sqrt(math.Pi)*math.Exp(-a*a*w.Rc*w.Rc)/w.Rc
+
+	// full-list half-weight pair sum (see potential.go)
+	for i := 0; i < n; i++ {
+		qi := s.Species[s.Types[i]].Charge
+		for _, nb := range nl.Lists[i] {
+			if nb.J/3 == i/3 {
+				continue // same molecule (incl. self-images) handled above
+			}
+			r := nb.R
+			dV := 0.0
+			if s.Types[i] == 0 && s.Types[nb.J] == 0 && r < w.OO.Rc {
+				v, dv := w.OO.pairLJ(r)
+				e += 0.5 * v
+				dV += dv
+			}
+			if r < w.Rc {
+				qq := CoulombK * qi * s.Species[s.Types[nb.J]].Charge
+				erfcR := math.Erfc(a * r)
+				e += 0.5 * qq * (erfcR/r - eShift + fShift*(r-w.Rc))
+				coulF := qq * (erfcR/(r*r) + 2*a/math.Sqrt(math.Pi)*math.Exp(-a*a*r*r)/r - fShift)
+				dV -= coulF
+			}
+			dV *= 0.5
+			if dV != 0 {
+				fx := -dV * nb.Dx / r
+				fy := -dV * nb.Dy / r
+				fz := -dV * nb.Dz / r
+				f[3*nb.J] += fx
+				f[3*nb.J+1] += fy
+				f[3*nb.J+2] += fz
+				f[3*i] -= fx
+				f[3*i+1] -= fy
+				f[3*i+2] -= fz
+			}
+		}
+	}
+	return e, f
+}
+
+// bond adds the harmonic O-H bond energy and forces for atoms (i,j).
+func (w Water) bond(s *System, f []float64, i, j int) float64 {
+	dx, dy, dz, r := s.Displacement(i, j)
+	dr := r - w.RBond
+	dV := 2 * w.KBond * dr // dE/dr
+	fx := -dV * dx / r
+	fy := -dV * dy / r
+	fz := -dV * dz / r
+	f[3*j] += fx
+	f[3*j+1] += fy
+	f[3*j+2] += fz
+	f[3*i] -= fx
+	f[3*i+1] -= fy
+	f[3*i+2] -= fz
+	return w.KBond * dr * dr
+}
+
+// angle adds the harmonic j-centered angle energy and forces for the
+// triplet (i,j,k) = (H,O,H).
+func (w Water) angle(s *System, f []float64, i, j, k int) float64 {
+	// vectors from the apex j
+	ax, ay, az, ra := s.Displacement(j, i)
+	bx, by, bz, rb := s.Displacement(j, k)
+	dot := ax*bx + ay*by + az*bz
+	cosT := dot / (ra * rb)
+	if cosT > 1 {
+		cosT = 1
+	} else if cosT < -1 {
+		cosT = -1
+	}
+	theta := math.Acos(cosT)
+	dTheta := theta - w.Theta0
+	sinT := math.Sin(theta)
+	if sinT < 1e-8 {
+		sinT = 1e-8
+	}
+	// dE/dcosθ = 2k·dθ · dθ/dcosθ = -2k·dθ/sinθ
+	dEdCos := -2 * w.KAngle * dTheta / sinT
+	// ∂cosθ/∂a and ∂cosθ/∂b
+	cax := bx/(ra*rb) - cosT*ax/(ra*ra)
+	cay := by/(ra*rb) - cosT*ay/(ra*ra)
+	caz := bz/(ra*rb) - cosT*az/(ra*ra)
+	cbx := ax/(ra*rb) - cosT*bx/(rb*rb)
+	cby := ay/(ra*rb) - cosT*by/(rb*rb)
+	cbz := az/(ra*rb) - cosT*bz/(rb*rb)
+	// a = x_i − x_j, b = x_k − x_j
+	f[3*i] -= dEdCos * cax
+	f[3*i+1] -= dEdCos * cay
+	f[3*i+2] -= dEdCos * caz
+	f[3*k] -= dEdCos * cbx
+	f[3*k+1] -= dEdCos * cby
+	f[3*k+2] -= dEdCos * cbz
+	f[3*j] += dEdCos * (cax + cbx)
+	f[3*j+1] += dEdCos * (cay + cby)
+	f[3*j+2] += dEdCos * (caz + cbz)
+	return w.KAngle * dTheta * dTheta
+}

@@ -1,0 +1,87 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+)
+
+// Adam is the first-order baseline in the paper's configuration: base
+// learning rate 1e-3 with exponential decay ×0.95 every 5000 steps, and
+// the square-root batch-size scaling rule the paper identifies as the
+// best-converging large-batch heuristic (Table 1's setup).
+type Adam struct {
+	LR0        float64 // base learning rate (before batch scaling)
+	Beta1      float64
+	Beta2      float64
+	Eps        float64
+	DecayEvery int     // steps between LR decays
+	DecayRate  float64 // multiplicative decay
+	ScaleBS    bool    // multiply LR by sqrt(batch size)
+	Weights    deepmd.LossWeights
+
+	step int
+	m, v []float64
+}
+
+// NewAdam returns the paper-default Adam configuration.
+func NewAdam() *Adam {
+	return &Adam{
+		LR0: 1e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		DecayEvery: 5000, DecayRate: 0.95, ScaleBS: true,
+		Weights: deepmd.DefaultLossWeights(),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "Adam" }
+
+// LR returns the effective learning rate at the current step for batch
+// size bs.
+func (a *Adam) LR(bs int) float64 {
+	lr := a.LR0
+	if a.ScaleBS && bs > 1 {
+		lr *= math.Sqrt(float64(bs))
+	}
+	if a.DecayEvery > 0 {
+		lr *= math.Pow(a.DecayRate, float64(a.step/a.DecayEvery))
+	}
+	return lr
+}
+
+// Step implements Optimizer: one forward/backward pass over the batch and
+// an Adam parameter update.
+func (a *Adam) Step(m *deepmd.Model, ds *dataset.Dataset, idx []int) (StepInfo, error) {
+	grad, info, err := lossGradient(m, ds, idx, a.Weights)
+	if err != nil {
+		return StepInfo{}, err
+	}
+	n := m.Params.NumParams()
+	if a.m == nil {
+		a.m = make([]float64, n)
+		a.v = make([]float64, n)
+	} else if len(a.m) != n {
+		return StepInfo{}, fmt.Errorf("optimize: Adam state sized %d for %d params", len(a.m), n)
+	}
+
+	prev := m.Dev.SetPhase(device.PhaseOptimizer)
+	a.step++
+	lr := a.LR(len(idx))
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	delta := make([]float64, n)
+	for i, g := range grad {
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		mhat := a.m[i] / b1c
+		vhat := a.v[i] / b2c
+		delta[i] = -lr * mhat / (math.Sqrt(vhat) + a.Eps)
+	}
+	m.Params.AddFlat(delta)
+	m.Dev.Launch("adam_update", int64(8*n), int64(5*8*n))
+	m.Dev.SetPhase(prev)
+	return info, nil
+}

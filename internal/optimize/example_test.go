@@ -1,0 +1,48 @@
+package optimize_test
+
+import (
+	"fmt"
+
+	"fekf/internal/device"
+	"fekf/internal/optimize"
+)
+
+// ExampleKalmanState shows the raw Kalman update cycle of Algorithm 1 on a
+// two-parameter toy model: the filter identifies w* = (1, -2) from signed
+// scalar measurements.
+func ExampleKalmanState() {
+	dev := device.New("example", device.A100())
+	ks := optimize.NewKalmanState(optimize.DefaultKalmanConfig(), []int{2}, dev)
+
+	w := []float64{0, 0}
+	wTrue := []float64{1, -2}
+	inputs := [][]float64{{1, 0}, {0, 1}, {1, 1}, {1, -1}, {2, 1}, {1, 2}}
+	for iter := 0; iter < 200; iter++ {
+		x := inputs[iter%len(inputs)]
+		pred := w[0]*x[0] + w[1]*x[1]
+		label := wTrue[0]*x[0] + wTrue[1]*x[1]
+		sign := 1.0
+		if pred >= label {
+			sign = -1
+		}
+		g := []float64{sign * x[0], sign * x[1]}
+		abe := label - pred
+		if abe < 0 {
+			abe = -abe
+		}
+		delta := ks.Update(g, abe, 1)
+		w[0] += delta[0]
+		w[1] += delta[1]
+	}
+	fmt.Printf("w = (%.2f, %.2f)\n", w[0], w[1])
+	// Output: w = (1.00, -2.00)
+}
+
+// ExampleSplitBlocks shows the gather-and-split strategy on the paper's
+// layer sizes.
+func ExampleSplitBlocks() {
+	layers := []int{50, 650, 650, 20050, 2550, 2550, 51}
+	blocks := optimize.SplitBlocks(layers, 10240)
+	fmt.Println(optimize.BlockSizes(blocks))
+	// Output: [1350 10240 9810 5151]
+}

@@ -1,0 +1,133 @@
+package optimize
+
+import (
+	"math"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+)
+
+// FEKF is the paper's Fast Extended Kalman Filter (Algorithm 1): a
+// funnel-shaped ("aggregation-then-computing") multi-sample minibatch EKF.
+// Gradients and absolute errors are reduced over the batch before the
+// Kalman update, so every sample shares one P, and the weight increment
+// carries the √bs quasi-learning-rate factor.
+//
+// RLEKF is recovered as the degenerate single-sample instance (batch size
+// 1, factor 1): construct it with NewRLEKF and drive it with bs=1.
+type FEKF struct {
+	KCfg KalmanConfig
+	// Factor is the quasi-learning-rate rule (√bs by default; Figure 4
+	// ablates 1 and bs).
+	Factor QuasiLRFactor
+	// ForceGroups is the number of sequential force measurement updates
+	// per iteration (paper: 4).
+	ForceGroups int
+	// EnergyDiv and ForceDiv divide the energy and force measurement
+	// errors fed to the filter, the trust-region damping knob of the
+	// reference implementation (which divides both by the atom count,
+	// matched to its 10k-70k-sample datasets).  The repo defaults —
+	// √Na for energy, 1 for force — reach the same optima in
+	// proportionally fewer updates at this reproduction's dataset sizes.
+	EnergyDiv, ForceDiv TrustDiv
+
+	name string
+	ks   *KalmanState
+}
+
+// TrustDiv selects the measurement-error damping rule.
+type TrustDiv int
+
+// Damping rules for the Kalman measurement error.
+const (
+	// DivSqrtAtoms divides errors by √Na (repo default).
+	DivSqrtAtoms TrustDiv = iota
+	// DivAtoms divides errors by Na (the reference implementation's rule,
+	// matched to its 10k-70k-sample datasets).
+	DivAtoms
+	// DivOne feeds raw mean errors (aggressive).
+	DivOne
+)
+
+// Value returns the divisor for a system of na atoms.
+func (d TrustDiv) Value(na int) float64 {
+	switch d {
+	case DivAtoms:
+		return float64(na)
+	case DivOne:
+		return 1
+	default:
+		return math.Sqrt(float64(na))
+	}
+}
+
+// NewFEKF returns the paper-default FEKF optimizer.
+func NewFEKF() *FEKF {
+	return &FEKF{
+		KCfg:        DefaultKalmanConfig(),
+		Factor:      FactorSqrtBS,
+		ForceGroups: 4,
+		EnergyDiv:   DivSqrtAtoms,
+		ForceDiv:    DivAtoms,
+		name:        "FEKF",
+	}
+}
+
+// NewRLEKF returns the instance-by-instance RLEKF baseline: identical
+// update rule at batch size 1 with unit factor.  Drive it with bs=1.
+func NewRLEKF() *FEKF {
+	return &FEKF{
+		KCfg:        DefaultKalmanConfig(),
+		Factor:      FactorOne,
+		ForceGroups: 4,
+		EnergyDiv:   DivSqrtAtoms,
+		ForceDiv:    DivAtoms,
+		name:        "RLEKF",
+	}
+}
+
+// Name implements Optimizer.
+func (f *FEKF) Name() string { return f.name }
+
+// State exposes the Kalman state (nil before the first step); used by the
+// experiment harness for memory and block-structure reporting.
+func (f *FEKF) State() *KalmanState { return f.ks }
+
+// Step implements Optimizer: one energy measurement update followed by
+// ForceGroups force measurement updates, all on batch-reduced gradients
+// and errors (the funnel dataflow of Figure 3(b)).
+func (f *FEKF) Step(m *deepmd.Model, ds *dataset.Dataset, idx []int) (StepInfo, error) {
+	if f.ks == nil {
+		f.ks = NewKalmanState(f.KCfg, m.Params.LayerSizes(), m.Dev)
+	}
+	env, err := deepmd.BuildBatchEnv(m.Cfg, ds, idx)
+	if err != nil {
+		return StepInfo{}, err
+	}
+	lab := deepmd.BatchLabels(ds, idx)
+	scale := f.Factor.Apply(len(idx))
+	eDiv := f.EnergyDiv.Value(lab.NaPer)
+	fDiv := f.ForceDiv.Value(lab.NaPer)
+
+	// Energy update: reduce signs/errors over the batch, one backward for
+	// the reduced gradient (early reduction), one Kalman update.
+	out := m.Forward(env, false)
+	seedE, eABE := energyMeasurement(out, lab, eDiv)
+	gE := m.EnergyGrad(out, seedE)
+	m.Params.AddFlat(f.ks.Update(gE, eABE, scale))
+	out.Graph.Release()
+
+	// Force updates: one forward with the post-energy-update weights,
+	// then ForceGroups sequential measurement updates.  The group
+	// gradients come from this single graph (weights as of the forward),
+	// the standard approximation of the reference implementation.
+	out2 := m.Forward(env, true)
+	info := StepInfo{EnergyABE: eABE, ForceABE: meanAbsForceError(out2, lab)}
+	for grp := 0; grp < f.ForceGroups; grp++ {
+		seedF, fABE := forceMeasurement(out2, lab, grp, f.ForceGroups, fDiv)
+		gF := m.ForceGrad(out2, seedF)
+		m.Params.AddFlat(f.ks.Update(gF, fABE, scale))
+	}
+	out2.Graph.Release()
+	return info, nil
+}

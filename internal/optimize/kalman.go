@@ -1,0 +1,188 @@
+package optimize
+
+import (
+	"math"
+
+	"fekf/internal/device"
+	"fekf/internal/tensor"
+)
+
+// KalmanConfig collects the Extended-Kalman-Filter hyper-parameters of
+// Algorithm 1 and the optimizer-side system switches of Opt3.
+type KalmanConfig struct {
+	// BlockSize is the gather-and-split threshold N_b (paper: 10240).
+	BlockSize int
+	// Lambda0 and Nu drive the memory-factor schedule
+	// λ_{t+1} = λ_t·ν + (1−ν) (paper defaults 0.98 and 0.9987).
+	Lambda0, Nu float64
+	// FusedPUpdate selects the handwritten single-pass P-update kernel
+	// instead of the framework-style outer-product + symmetrization.
+	FusedPUpdate bool
+	// CachePg reuses the P·g intermediate between the a and K
+	// computations instead of recomputing it.
+	CachePg bool
+}
+
+// DefaultKalmanConfig returns the paper's default EKF settings.
+func DefaultKalmanConfig() KalmanConfig {
+	return KalmanConfig{BlockSize: 10240, Lambda0: 0.98, Nu: 0.9987}
+}
+
+// LargeBatchKalmanConfig returns the λ, ν the paper recommends once the
+// batch size exceeds ~1024 (Section 3.2).
+func LargeBatchKalmanConfig() KalmanConfig {
+	return KalmanConfig{BlockSize: 10240, Lambda0: 0.90, Nu: 0.996}
+}
+
+// WithOpt3 returns a copy with the Opt3 optimizer kernels enabled.
+func (c KalmanConfig) WithOpt3() KalmanConfig {
+	c.FusedPUpdate = true
+	c.CachePg = true
+	return c
+}
+
+// KalmanState is the per-block error-covariance state shared by the EKF
+// optimizers.  It owns the block-diagonal P = diag(P_1 … P_L).
+type KalmanState struct {
+	Cfg    KalmanConfig
+	Blocks []Block
+	P      []*tensor.Dense
+	Lambda float64
+	Dev    *device.Device
+
+	Updates int
+	pg      []*tensor.Dense // scratch P·g per block
+}
+
+// NewKalmanState builds the block structure from per-layer parameter
+// counts and initializes every P block to the identity.
+func NewKalmanState(cfg KalmanConfig, layerSizes []int, dev *device.Device) *KalmanState {
+	ks := &KalmanState{
+		Cfg:    cfg,
+		Blocks: SplitBlocks(layerSizes, cfg.BlockSize),
+		Lambda: cfg.Lambda0,
+		Dev:    dev,
+	}
+	for _, b := range ks.Blocks {
+		n := b.Size()
+		ks.P = append(ks.P, tensor.Eye(n))
+		ks.pg = append(ks.pg, tensor.New(n, 1))
+		dev.Alloc(int64(n) * int64(n) * 8)
+	}
+	return ks
+}
+
+// PBytes returns the device memory held by the P blocks.
+func (ks *KalmanState) PBytes() int64 {
+	var total int64
+	for _, p := range ks.P {
+		total += int64(p.Len()) * 8
+	}
+	return total
+}
+
+// Free releases the P blocks from the device allocator.
+func (ks *KalmanState) Free() {
+	ks.Dev.Free(ks.PBytes())
+	ks.P = nil
+	ks.pg = nil
+}
+
+// Update performs one Kalman measurement update (Algorithm 1 lines 8-13)
+// over every block: given the reduced gradient g (flat, aligned with the
+// parameter vector) and the reduced absolute error abe, it refreshes P and
+// returns the weight increment Δw = scale·abe·K, where scale carries the
+// quasi-learning-rate factor (√bs for FEKF).
+func (ks *KalmanState) Update(g []float64, abe, scale float64) []float64 {
+	prev := ks.Dev.SetPhase(device.PhaseOptimizer)
+	defer ks.Dev.SetPhase(prev)
+
+	delta := make([]float64, len(g))
+	for i, b := range ks.Blocks {
+		n := b.Size()
+		gi := tensor.Vector(g[b.Lo:b.Hi])
+		p := ks.P[i]
+		pg := ks.pg[i]
+
+		// a = 1/(λ + gᵀPg); Opt3 caches Pg for reuse in K, the baseline
+		// recomputes it the way the framework graph does.
+		tensor.SymMatVecInto(pg, p, gi)
+		ks.Dev.Launch("p_matvec", 2*int64(n)*int64(n), int64(n)*int64(n)*8)
+		a := 1 / (ks.Lambda + tensor.Dot(gi, pg))
+		ks.Dev.Launch("a_scalar", 2*int64(n), int64(2*n)*8)
+
+		var k *tensor.Dense
+		if ks.Cfg.CachePg {
+			k = tensor.Scale(a, pg)
+			ks.Dev.Launch("k_scale", int64(n), int64(2*n)*8)
+		} else {
+			k = tensor.New(n, 1)
+			tensor.SymMatVecInto(k, p, gi)
+			ks.Dev.Launch("p_matvec", 2*int64(n)*int64(n), int64(n)*int64(n)*8)
+			for j := range k.Data {
+				k.Data[j] *= a
+			}
+			ks.Dev.Launch("k_scale", int64(n), int64(2*n)*8)
+		}
+
+		// P ← (1/λ)(P − (1/a)·KKᵀ), then symmetrize.
+		if ks.Cfg.FusedPUpdate {
+			tensor.PUpdateFused(p, k, a, ks.Lambda)
+			ks.Dev.Launch("p_update_fused", 3*int64(n)*int64(n), 2*int64(n)*int64(n)*8)
+		} else {
+			ks.Dev.Alloc(2 * int64(n) * int64(n) * 8) // KKᵀ and Pᵀ temporaries
+			tensor.PUpdateNaive(p, k, a, ks.Lambda)
+			ks.Dev.Launch("outer_kk", int64(n)*int64(n), int64(n)*int64(n)*8)
+			ks.Dev.Launch("p_sub_scale", 2*int64(n)*int64(n), 3*int64(n)*int64(n)*8)
+			ks.Dev.Launch("p_transpose", 0, 2*int64(n)*int64(n)*8)
+			ks.Dev.Launch("p_symmetrize", int64(n)*int64(n), 3*int64(n)*int64(n)*8)
+			ks.Dev.Free(2 * int64(n) * int64(n) * 8)
+		}
+
+		s := scale * abe
+		dst := delta[b.Lo:b.Hi]
+		for j, kv := range k.Data {
+			dst[j] = s * kv
+		}
+		ks.Dev.Launch("w_increment", int64(n), int64(2*n)*8)
+	}
+
+	ks.Lambda = ks.Lambda*ks.Cfg.Nu + 1 - ks.Cfg.Nu
+	ks.Updates++
+	return delta
+}
+
+// QuasiLRFactor is the batch-size factor applied to the weight increment
+// (Eq. 2 and the Figure 4 ablation).
+type QuasiLRFactor int
+
+// The three factors compared in Figure 4.
+const (
+	FactorOne QuasiLRFactor = iota
+	FactorSqrtBS
+	FactorLinearBS
+)
+
+// Apply returns the numeric factor for batch size bs.
+func (f QuasiLRFactor) Apply(bs int) float64 {
+	switch f {
+	case FactorSqrtBS:
+		return math.Sqrt(float64(bs))
+	case FactorLinearBS:
+		return float64(bs)
+	default:
+		return 1
+	}
+}
+
+// String names the factor as in Figure 4's legend.
+func (f QuasiLRFactor) String() string {
+	switch f {
+	case FactorSqrtBS:
+		return "sqrt(bs)"
+	case FactorLinearBS:
+		return "bs"
+	default:
+		return "1"
+	}
+}

@@ -1,0 +1,390 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/tensor"
+)
+
+func TestSplitBlocksPaperStructure(t *testing.T) {
+	// the paper's single-species DeePMD layer sizes with blocksize 10240
+	layers := []int{50, 650, 650, 20050, 2550, 2550, 51}
+	blocks := SplitBlocks(layers, 10240)
+	sizes := BlockSizes(blocks)
+	want := []int{1350, 10240, 9810, 5151}
+	if len(sizes) != len(want) {
+		t.Fatalf("block sizes %v, want %v", sizes, want)
+	}
+	total := 0
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("block sizes %v, want %v", sizes, want)
+		}
+		total += sizes[i]
+	}
+	if total != 26551 {
+		t.Fatalf("blocks cover %d params", total)
+	}
+	// contiguity
+	off := 0
+	for _, b := range blocks {
+		if b.Lo != off {
+			t.Fatalf("non-contiguous blocks: %v", blocks)
+		}
+		off = b.Hi
+	}
+}
+
+func TestSplitBlocksEdgeCases(t *testing.T) {
+	if got := BlockSizes(SplitBlocks([]int{5, 5, 5}, 100)); len(got) != 1 || got[0] != 15 {
+		t.Fatalf("small layers should gather into one block: %v", got)
+	}
+	if got := BlockSizes(SplitBlocks([]int{250}, 100)); len(got) != 3 || got[0] != 100 || got[2] != 50 {
+		t.Fatalf("oversized layer should split: %v", got)
+	}
+	if got := SplitBlocks(nil, 100); len(got) != 0 {
+		t.Fatalf("empty layers gave %v", got)
+	}
+	if got := BlockSizes(SplitBlocks([]int{3, 0, 4}, 100)); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("zero-size layers should be skipped: %v", got)
+	}
+}
+
+// TestKalmanLinearRegression: the EKF core must identify the weights of a
+// noiseless linear model y = w*ᵀx from scalar measurements.
+func TestKalmanLinearRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 12
+	wTrue := make([]float64, n)
+	for i := range wTrue {
+		wTrue[i] = rng.NormFloat64()
+	}
+	w := make([]float64, n)
+	dev := device.New("t", device.A100())
+	ks := NewKalmanState(DefaultKalmanConfig(), []int{n}, dev)
+
+	dotF := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	for iter := 0; iter < 200; iter++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		pred := dotF(w, x)
+		label := dotF(wTrue, x)
+		sign := 1.0
+		if pred >= label {
+			sign = -1
+		}
+		g := make([]float64, n)
+		for i := range g {
+			g[i] = sign * x[i] // d(σ·pred)/dw
+		}
+		abe := math.Abs(label - pred)
+		delta := ks.Update(g, abe, 1)
+		for i := range w {
+			w[i] += delta[i]
+		}
+	}
+	err := 0.0
+	for i := range w {
+		err += (w[i] - wTrue[i]) * (w[i] - wTrue[i])
+	}
+	err = math.Sqrt(err / n)
+	if err > 0.05 {
+		t.Fatalf("EKF failed to identify linear model: RMSE %v", err)
+	}
+}
+
+func TestKalmanPSymmetricAndLambdaSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dev := device.New("t", device.A100())
+	cfg := DefaultKalmanConfig()
+	cfg.BlockSize = 8
+	ks := NewKalmanState(cfg, []int{8, 8}, dev)
+	l0 := ks.Lambda
+	for iter := 0; iter < 20; iter++ {
+		g := make([]float64, 16)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		ks.Update(g, 0.5, 1)
+	}
+	for i, p := range ks.P {
+		if !tensor.IsSymmetric(p, 1e-10) {
+			t.Fatalf("P[%d] lost symmetry", i)
+		}
+	}
+	if ks.Lambda <= l0 || ks.Lambda >= 1 {
+		t.Fatalf("lambda schedule broken: %v -> %v", l0, ks.Lambda)
+	}
+	// closed form: λ_t → 1 monotonically
+	want := l0
+	for i := 0; i < 20; i++ {
+		want = want*cfg.Nu + 1 - cfg.Nu
+	}
+	if math.Abs(ks.Lambda-want) > 1e-12 {
+		t.Fatalf("lambda = %v want %v", ks.Lambda, want)
+	}
+}
+
+// TestKalmanFusedMatchesNaive: Opt3's optimizer kernels must not change
+// the update values, only kernels/memory.
+func TestKalmanFusedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	devA := device.New("a", device.A100())
+	devB := device.New("b", device.A100())
+	cfgA := DefaultKalmanConfig()
+	cfgA.BlockSize = 16
+	cfgB := cfgA.WithOpt3()
+	ksA := NewKalmanState(cfgA, []int{16, 10}, devA)
+	ksB := NewKalmanState(cfgB, []int{16, 10}, devB)
+	for iter := 0; iter < 10; iter++ {
+		g := make([]float64, 26)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		dA := ksA.Update(g, 0.3, 2)
+		dB := ksB.Update(g, 0.3, 2)
+		for i := range dA {
+			if math.Abs(dA[i]-dB[i]) > 1e-9 {
+				t.Fatalf("iter %d: fused delta differs at %d: %v vs %v", iter, i, dA[i], dB[i])
+			}
+		}
+	}
+	for i := range ksA.P {
+		if !tensor.Equal(ksA.P[i], ksB.P[i], 1e-9) {
+			t.Fatalf("P[%d] diverged between fused and naive", i)
+		}
+	}
+	// the fused path must launch fewer kernels and show a lower peak
+	if devB.Counters().Kernels >= devA.Counters().Kernels {
+		t.Fatalf("opt3 kernels %d !< naive %d", devB.Counters().Kernels, devA.Counters().Kernels)
+	}
+	if devB.Counters().PeakBytes >= devA.Counters().PeakBytes {
+		t.Fatalf("opt3 peak %d !< naive %d", devB.Counters().PeakBytes, devA.Counters().PeakBytes)
+	}
+}
+
+func TestQuasiLRFactor(t *testing.T) {
+	if FactorOne.Apply(32) != 1 {
+		t.Fatal("FactorOne")
+	}
+	if math.Abs(FactorSqrtBS.Apply(32)-math.Sqrt(32)) > 1e-12 {
+		t.Fatal("FactorSqrtBS")
+	}
+	if FactorLinearBS.Apply(32) != 32 {
+		t.Fatal("FactorLinearBS")
+	}
+	if FactorSqrtBS.String() != "sqrt(bs)" || FactorOne.String() != "1" || FactorLinearBS.String() != "bs" {
+		t.Fatal("factor names")
+	}
+}
+
+// trainSetup builds a tiny Cu dataset + model for optimizer smoke tests.
+func trainSetup(t *testing.T, n int) (*dataset.Dataset, *deepmd.Model) {
+	t.Helper()
+	ds, err := dataset.Generate("Cu", dataset.GenOptions{
+		Snapshots: n, SampleEvery: 4, EquilSteps: 30, Scale: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	cfg := deepmd.TinyConfig(sys)
+	m, err := deepmd.NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Level = deepmd.OptFused
+	m.Dev = device.New("train", device.A100())
+	if err := m.InitFromDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	return ds, m
+}
+
+func stepLossTrend(t *testing.T, opt Optimizer, ds *dataset.Dataset, m *deepmd.Model, idx []int, steps int) (first, last float64) {
+	t.Helper()
+	for s := 0; s < steps; s++ {
+		info, err := opt.Step(m, ds, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == 0 {
+			first = info.EnergyABE + info.ForceABE
+		}
+		last = info.EnergyABE + info.ForceABE
+	}
+	return first, last
+}
+
+func TestAdamReducesError(t *testing.T) {
+	ds, m := trainSetup(t, 4)
+	first, last := stepLossTrend(t, NewAdam(), ds, m, []int{0, 1, 2, 3}, 25)
+	if !(last < first) {
+		t.Fatalf("Adam did not reduce error: %v -> %v", first, last)
+	}
+}
+
+func TestFEKFReducesErrorFast(t *testing.T) {
+	ds, m := trainSetup(t, 4)
+	first, last := stepLossTrend(t, NewFEKF(), ds, m, []int{0, 1, 2, 3}, 8)
+	if !(last < first*0.8) {
+		t.Fatalf("FEKF did not reduce error enough: %v -> %v", first, last)
+	}
+}
+
+func TestRLEKFSingleSample(t *testing.T) {
+	ds, m := trainSetup(t, 2)
+	opt := NewRLEKF()
+	if opt.Name() != "RLEKF" {
+		t.Fatal("name")
+	}
+	first, last := stepLossTrend(t, opt, ds, m, []int{0}, 8)
+	if !(last < first) {
+		t.Fatalf("RLEKF did not reduce error: %v -> %v", first, last)
+	}
+}
+
+func TestNaiveEKFMemoryScalesWithBatch(t *testing.T) {
+	ds, m := trainSetup(t, 4)
+	nv := NewNaiveEKF()
+	if _, err := nv.Step(m, ds, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	fk := NewFEKF()
+	ds2, m2 := trainSetup(t, 4)
+	if _, err := fk.Step(m2, ds2, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if nv.PBytes() != 4*fk.State().PBytes() {
+		t.Fatalf("naive P bytes %d, FEKF %d: expected 4x", nv.PBytes(), fk.State().PBytes())
+	}
+}
+
+func TestNaiveEKFConverges(t *testing.T) {
+	ds, m := trainSetup(t, 2)
+	first, last := stepLossTrend(t, NewNaiveEKF(), ds, m, []int{0, 1}, 5)
+	if !(last < first) {
+		t.Fatalf("Naive-EKF did not reduce error: %v -> %v", first, last)
+	}
+}
+
+// TestFEKFQuasiLRConvergence reproduces the Figure 4 ordering on a tiny
+// problem: sqrt(bs) converges at least as fast as factor 1.
+func TestFEKFQuasiLRConvergence(t *testing.T) {
+	run := func(f QuasiLRFactor) float64 {
+		ds, m := trainSetup(t, 4)
+		opt := NewFEKF()
+		opt.Factor = f
+		_, last := stepLossTrend(t, opt, ds, m, []int{0, 1, 2, 3}, 6)
+		return last
+	}
+	one := run(FactorOne)
+	sqrt := run(FactorSqrtBS)
+	if sqrt > one*1.5 {
+		t.Fatalf("sqrt(bs) factor much worse than 1: %v vs %v", sqrt, one)
+	}
+}
+
+func TestAdamLRSchedule(t *testing.T) {
+	a := NewAdam()
+	if math.Abs(a.LR(1)-1e-3) > 1e-15 {
+		t.Fatalf("initial lr = %v", a.LR(1))
+	}
+	if math.Abs(a.LR(32)-1e-3*math.Sqrt(32)) > 1e-12 {
+		t.Fatalf("bs-scaled lr = %v", a.LR(32))
+	}
+	a.step = 5000
+	if math.Abs(a.LR(1)-1e-3*0.95) > 1e-12 {
+		t.Fatalf("decayed lr = %v", a.LR(1))
+	}
+	a.ScaleBS = false
+	if a.LR(32) != a.LR(1) {
+		t.Fatal("ScaleBS=false must ignore batch size")
+	}
+}
+
+// TestTable2UpdateRules verifies the algebraic relationship of Table 2:
+// the FEKF increment K(E(g))·E(ABE) with batch b equals the single-sample
+// increment when the batch repeats one sample (the two formulations agree
+// in the degenerate case).
+func TestTable2UpdateRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 6
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	dev := device.New("t", device.A100())
+	ksA := NewKalmanState(DefaultKalmanConfig(), []int{n}, dev)
+	ksB := NewKalmanState(DefaultKalmanConfig(), []int{n}, dev)
+
+	// batch of 4 identical samples: E(g)=g, E(ABE)=abe
+	dA := ksA.Update(g, 0.7, 1)
+	dB := ksB.Update(g, 0.7, 1)
+	for i := range dA {
+		if math.Abs(dA[i]-dB[i]) > 1e-12 {
+			t.Fatal("identical inputs gave different updates")
+		}
+	}
+}
+
+func TestLARSReducesError(t *testing.T) {
+	ds, m := trainSetup(t, 4)
+	first, last := stepLossTrend(t, NewLARS(), ds, m, []int{0, 1, 2, 3}, 20)
+	if !(last < first) {
+		t.Fatalf("LARS did not reduce error: %v -> %v", first, last)
+	}
+}
+
+func TestLAMBReducesError(t *testing.T) {
+	ds, m := trainSetup(t, 4)
+	first, last := stepLossTrend(t, NewLAMB(), ds, m, []int{0, 1, 2, 3}, 20)
+	if !(last < first) {
+		t.Fatalf("LAMB did not reduce error: %v -> %v", first, last)
+	}
+}
+
+func TestLayerwiseOptimizersKeepWeightsFinite(t *testing.T) {
+	ds, m := trainSetup(t, 2)
+	for _, opt := range []Optimizer{NewLARS(), NewLAMB()} {
+		for s := 0; s < 5; s++ {
+			if _, err := opt.Step(m, ds, []int{0, 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, v := range m.Params.FlattenValues() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s produced non-finite weight", opt.Name())
+			}
+		}
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	names := map[Optimizer]string{
+		NewAdam():     "Adam",
+		NewLARS():     "LARS",
+		NewLAMB():     "LAMB",
+		NewFEKF():     "FEKF",
+		NewRLEKF():    "RLEKF",
+		NewNaiveEKF(): "Naive-EKF",
+	}
+	for opt, want := range names {
+		if opt.Name() != want {
+			t.Fatalf("name = %q want %q", opt.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package stats provides the aggregation utilities behind the paper's
+// ±-error reporting: means, standard deviations and min/max over repeated
+// runs with different seeds, plus simple timers for phase accounting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary aggregates a sample of float64 observations.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes a Summary of xs (Std is the sample standard
+// deviation; zero for n < 2).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if s.N%2 == 1 {
+		s.Median = sorted[s.N/2]
+	} else {
+		s.Median = 0.5 * (sorted[s.N/2-1] + sorted[s.N/2])
+	}
+	return s
+}
+
+// PlusMinus renders the paper's "mean ±std" format with the given number
+// of decimals.
+func (s Summary) PlusMinus(decimals int) string {
+	return fmt.Sprintf("%.*f ±%.*f", decimals, s.Mean, decimals, s.Std)
+}
+
+// Collector accumulates named observations across repeated runs.
+type Collector struct {
+	order []string
+	data  map[string][]float64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{data: make(map[string][]float64)}
+}
+
+// Add records one observation under the given name.
+func (c *Collector) Add(name string, v float64) {
+	if _, ok := c.data[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.data[name] = append(c.data[name], v)
+}
+
+// Names returns the metric names in first-seen order.
+func (c *Collector) Names() []string { return c.order }
+
+// Get returns the Summary of one metric.
+func (c *Collector) Get(name string) Summary { return Summarize(c.data[name]) }
+
+// Timer measures wall durations of named phases.
+type Timer struct {
+	started map[string]time.Time
+	total   map[string]time.Duration
+}
+
+// NewTimer returns an empty timer.
+func NewTimer() *Timer {
+	return &Timer{started: map[string]time.Time{}, total: map[string]time.Duration{}}
+}
+
+// Start begins (or restarts) a phase.
+func (t *Timer) Start(name string) { t.started[name] = time.Now() }
+
+// Stop ends a phase, accumulating its duration; calling Stop without a
+// matching Start is a no-op.
+func (t *Timer) Stop(name string) {
+	if s, ok := t.started[name]; ok {
+		t.total[name] += time.Since(s)
+		delete(t.started, name)
+	}
+}
+
+// Total returns the accumulated duration of a phase.
+func (t *Timer) Total(name string) time.Duration { return t.total[name] }
+
+// GeoMean returns the geometric mean of positive values (the conventional
+// aggregate for speedup factors such as the paper's "average speedup of
+// 32.2"); zero if any value is non-positive or the slice is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

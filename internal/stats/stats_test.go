@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v want %v", s.Std, want)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Median != 7 || one.Min != 7 || one.Max != 7 {
+		t.Fatalf("single summary = %+v", one)
+	}
+}
+
+func TestPlusMinusFormat(t *testing.T) {
+	s := Summary{Mean: 0.04273, Std: 0.00041}
+	if got := s.PlusMinus(4); got != "0.0427 ±0.0004" {
+		t.Fatalf("format = %q", got)
+	}
+}
+
+// Property: the mean lies within [min, max].
+func TestPropMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Add("a", 1)
+	c.Add("b", 10)
+	c.Add("a", 3)
+	if names := c.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if got := c.Get("a"); got.N != 2 || got.Mean != 2 {
+		t.Fatalf("a = %+v", got)
+	}
+	if got := c.Get("missing"); got.N != 0 {
+		t.Fatal("missing metric should be empty")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := NewTimer()
+	tm.Start("x")
+	time.Sleep(5 * time.Millisecond)
+	tm.Stop("x")
+	if tm.Total("x") < 4*time.Millisecond {
+		t.Fatalf("total = %v", tm.Total("x"))
+	}
+	tm.Stop("never-started") // must not panic
+	if tm.Total("never-started") != 0 {
+		t.Fatal("phantom phase accumulated time")
+	}
+	// accumulation across start/stop pairs
+	before := tm.Total("x")
+	tm.Start("x")
+	tm.Stop("x")
+	if tm.Total("x") < before {
+		t.Fatal("total went backwards")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("edge cases")
+	}
+}

@@ -1,0 +1,81 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blockRef computes the batched products block-by-block with the plain
+// kernels, as the correctness reference.
+func blockRef(kind string, a, b *Dense, batch int) *Dense {
+	var parts []*Dense
+	switch kind {
+	case "ab":
+		m, k, n := a.Rows/batch, a.Cols, b.Cols
+		for i := 0; i < batch; i++ {
+			ai := FromSlice(m, k, a.Data[i*m*k:(i+1)*m*k])
+			bi := FromSlice(k, n, b.Data[i*k*n:(i+1)*k*n])
+			parts = append(parts, MatMul(ai, bi))
+		}
+	case "ta":
+		k, m, n := a.Rows/batch, a.Cols, b.Cols
+		for i := 0; i < batch; i++ {
+			ai := FromSlice(k, m, a.Data[i*k*m:(i+1)*k*m])
+			bi := FromSlice(k, n, b.Data[i*k*n:(i+1)*k*n])
+			parts = append(parts, MatMulTA(ai, bi))
+		}
+	case "tb":
+		m, k, n := a.Rows/batch, a.Cols, b.Rows/batch
+		for i := 0; i < batch; i++ {
+			ai := FromSlice(m, k, a.Data[i*m*k:(i+1)*m*k])
+			bi := FromSlice(n, k, b.Data[i*n*k:(i+1)*n*k])
+			parts = append(parts, MatMulTB(ai, bi))
+		}
+	}
+	rows := 0
+	for _, p := range parts {
+		rows += p.Rows
+	}
+	out := New(rows, parts[0].Cols)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off:], p.Data)
+		off += p.Len()
+	}
+	return out
+}
+
+func TestPropBatchedMatMulFamily(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		batch := 1 + r.Intn(4)
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := RandNormal(batch*m, k, 1, r)
+		b := RandNormal(batch*k, n, 1, r)
+		if !Equal(BatchedMatMul(a, b, batch), blockRef("ab", a, b, batch), 1e-10) {
+			return false
+		}
+		at := RandNormal(batch*k, m, 1, r)
+		if !Equal(BatchedMatMulTA(at, b, batch), blockRef("ta", at, b, batch), 1e-10) {
+			return false
+		}
+		bt := RandNormal(batch*n, k, 1, r)
+		if !Equal(BatchedMatMulTB(a, bt, batch), blockRef("tb", a, bt, batch), 1e-10) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedPanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on indivisible batch")
+		}
+	}()
+	BatchedMatMul(New(5, 2), New(4, 2), 2)
+}

@@ -1,0 +1,146 @@
+package tensor
+
+import "fmt"
+
+// blockSize is the cache-blocking tile edge for the GEMM kernels.  64
+// float64 columns is 512 bytes per row strip, which keeps three tiles
+// resident in a typical 32 KiB L1 cache.
+const blockSize = 64
+
+// MatMul returns a·b.
+func MatMul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	gemmInto(out, a, b)
+	return out
+}
+
+// gemmInto computes out += a·b with an ikj loop order, which streams b and
+// out rows sequentially; out must be pre-sized (a.Rows × b.Cols).
+func gemmInto(out, a, b *Dense) {
+	n := b.Cols
+	for i0 := 0; i0 < a.Rows; i0 += blockSize {
+		i1 := min(i0+blockSize, a.Rows)
+		for k0 := 0; k0 < a.Cols; k0 += blockSize {
+			k1 := min(k0+blockSize, a.Cols)
+			for i := i0; i < i1; i++ {
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				orow := out.Data[i*n : (i+1)*n]
+				for k := k0; k < k1; k++ {
+					aik := arow[k]
+					if aik == 0 {
+						continue
+					}
+					brow := b.Data[k*n : (k+1)*n]
+					for j, bv := range brow {
+						orow[j] += aik * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulTA returns aᵀ·b without materializing the transpose.
+func MatMulTA(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTA %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTB returns a·bᵀ without materializing the transpose.
+func MatMulTB(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTB %dx%d ·ᵀ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product a·x where x is n×1.
+func MatVec(a, x *Dense) *Dense {
+	if x.Cols != 1 || a.Cols != x.Rows {
+		panic(fmt.Sprintf("tensor: MatVec %dx%d · %dx%d", a.Rows, a.Cols, x.Rows, x.Cols))
+	}
+	out := New(a.Rows, 1)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		s := 0.0
+		for k, v := range row {
+			s += v * x.Data[k]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// SymMatVecInto computes y = P·x for symmetric P, writing into y (n×1).
+// It exists so that the optimizer's hot path allocates nothing.
+func SymMatVecInto(y, p, x *Dense) {
+	n := p.Rows
+	if p.Cols != n || x.Rows != n || x.Cols != 1 || y.Rows != n || y.Cols != 1 {
+		panic(fmt.Sprintf("tensor: SymMatVecInto P %dx%d x %dx%d y %dx%d",
+			p.Rows, p.Cols, x.Rows, x.Cols, y.Rows, y.Cols))
+	}
+	for i := 0; i < n; i++ {
+		row := p.Data[i*n : (i+1)*n]
+		s := 0.0
+		for k, v := range row {
+			s += v * x.Data[k]
+		}
+		y.Data[i] = s
+	}
+}
+
+// Outer returns the outer product x·yᵀ of column vectors x (m×1) and y (n×1).
+func Outer(x, y *Dense) *Dense {
+	if x.Cols != 1 || y.Cols != 1 {
+		panic(fmt.Sprintf("tensor: Outer wants column vectors, got %dx%d and %dx%d", x.Rows, x.Cols, y.Rows, y.Cols))
+	}
+	out := New(x.Rows, y.Rows)
+	for i := 0; i < x.Rows; i++ {
+		xi := x.Data[i]
+		row := out.Data[i*y.Rows : (i+1)*y.Rows]
+		for j := 0; j < y.Rows; j++ {
+			row[j] = xi * y.Data[j]
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the fused kernels the paper's system optimizations are
+// built from.  The unfused counterparts are compositions of the primitives
+// in tensor.go/gemm.go; the fused versions compute the same values in a
+// single pass so the simulated device charges one kernel launch and no
+// intermediate allocations, mirroring Opt2 (kernel fusion) and Opt3 (the
+// handwritten P-update kernel and Pg reuse) of Section 3.4.
+
+// AffineTanh returns tanh(x·w + 1⊗b) in one fused pass, where b is a 1×c
+// bias row broadcast over rows.  It is the embedding/fitting layer kernel.
+func AffineTanh(x, w, b *Dense) *Dense {
+	if x.Cols != w.Rows || b.Rows != 1 || b.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: AffineTanh x %dx%d w %dx%d b %dx%d",
+			x.Rows, x.Cols, w.Rows, w.Cols, b.Rows, b.Cols))
+	}
+	out := New(x.Rows, w.Cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Data[i*w.Cols:(i+1)*w.Cols], b.Data)
+	}
+	gemmInto(out, x, w)
+	for i, v := range out.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	return out
+}
+
+// ResidualAffineTanh returns x + tanh(x·w + 1⊗b) in one fused pass; w must
+// be square so the residual shapes match (the E1/E2 and F1/F2 layers of the
+// DeePMD embedding and fitting nets).
+func ResidualAffineTanh(x, w, b *Dense) *Dense {
+	if w.Rows != w.Cols {
+		panic(fmt.Sprintf("tensor: ResidualAffineTanh needs square w, got %dx%d", w.Rows, w.Cols))
+	}
+	out := AffineTanh(x, w, b)
+	for i, v := range x.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// PUpdateNaive performs the framework-style (unfused) covariance update of
+// Algorithm 1 lines 10-11:
+//
+//	P ← (1/λ)·(P − (1/a)·K·Kᵀ)
+//	P ← (P + Pᵀ)/2
+//
+// materializing the K·Kᵀ outer product and the transpose, exactly like the
+// torch.matmul implementation the paper replaces.  It returns the two
+// temporaries' sizes in elements so callers can account device memory.
+func PUpdateNaive(p, k *Dense, a, lambda float64) (tmpElems int64) {
+	n := p.Rows
+	if p.Cols != n || k.Rows != n || k.Cols != 1 {
+		panic(fmt.Sprintf("tensor: PUpdateNaive P %dx%d k %dx%d", p.Rows, p.Cols, k.Rows, k.Cols))
+	}
+	kkt := Outer(k, k) // N×N temporary (the memory overhead the paper measures)
+	invA := 1 / a
+	invL := 1 / lambda
+	for i, v := range p.Data {
+		p.Data[i] = invL * (v - invA*kkt.Data[i])
+	}
+	pt := Transpose(p) // second N×N temporary for the symmetrization
+	for i, v := range p.Data {
+		p.Data[i] = 0.5 * (v + pt.Data[i])
+	}
+	return int64(2 * n * n)
+}
+
+// PUpdateFused is the handwritten single-pass kernel of Opt3.  It computes
+// the same update as PUpdateNaive — (1/λ)(P − (1/a)KKᵀ) followed by
+// symmetrization — but walks the upper triangle once, writes both mirror
+// elements, and allocates nothing.
+func PUpdateFused(p, k *Dense, a, lambda float64) {
+	n := p.Rows
+	if p.Cols != n || k.Rows != n || k.Cols != 1 {
+		panic(fmt.Sprintf("tensor: PUpdateFused P %dx%d k %dx%d", p.Rows, p.Cols, k.Rows, k.Cols))
+	}
+	invA := 1 / a
+	invL := 1 / lambda
+	for i := 0; i < n; i++ {
+		ki := k.Data[i]
+		rowI := p.Data[i*n:]
+		p.Data[i*n+i] = invL * (p.Data[i*n+i] - invA*ki*ki)
+		for j := i + 1; j < n; j++ {
+			// symmetrize and update in one expression; KKᵀ is symmetric
+			// already, so only P needs averaging.
+			v := invL * (0.5*(rowI[j]+p.Data[j*n+i]) - invA*ki*k.Data[j])
+			rowI[j] = v
+			p.Data[j*n+i] = v
+		}
+	}
+}
+
+// SymmetrizeInPlace replaces p with (p + pᵀ)/2 without temporaries.
+func SymmetrizeInPlace(p *Dense) {
+	n := p.Rows
+	if p.Cols != n {
+		panic(fmt.Sprintf("tensor: SymmetrizeInPlace needs square, got %dx%d", p.Rows, p.Cols))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (p.Data[i*n+j] + p.Data[j*n+i])
+			p.Data[i*n+j] = v
+			p.Data[j*n+i] = v
+		}
+	}
+}
+
+// IsSymmetric reports whether p equals pᵀ within tol.
+func IsSymmetric(p *Dense, tol float64) bool {
+	if p.Rows != p.Cols {
+		return false
+	}
+	n := p.Rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(p.Data[i*n+j]-p.Data[j*n+i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OuterViaGEMM computes K·Kᵀ the way a framework GEMM does (the paper's
+// Supplementary I): K is padded to a tile-width matrix of kTile columns
+// and multiplied as a general matrix product, executing kTile× the
+// multiply-adds of the rank-1 outer product.  It exists as the measured
+// counterpart of the handwritten kernel in the optimizer ablations.
+func OuterViaGEMM(k *Dense, kTile int) *Dense {
+	if k.Cols != 1 {
+		panic(fmt.Sprintf("tensor: OuterViaGEMM wants a column vector, got %dx%d", k.Rows, k.Cols))
+	}
+	if kTile < 1 {
+		kTile = 1
+	}
+	padded := New(k.Rows, kTile)
+	for i := 0; i < k.Rows; i++ {
+		padded.Data[i*kTile] = k.Data[i]
+	}
+	return MatMulTB(padded, padded)
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	out := New(n, n)
+	for i := 0; i < n; i++ {
+		out.Data[i*n+i] = 1
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package train
+
+import (
+	"testing"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/optimize"
+)
+
+func setup(t *testing.T, n int) (*dataset.Dataset, *deepmd.Model) {
+	t.Helper()
+	ds, err := dataset.Generate("Cu", dataset.GenOptions{
+		Snapshots: n, SampleEvery: 4, EquilSteps: 25, Tiny: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	m, err := deepmd.NewModel(deepmd.TinyConfig(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Level = deepmd.OptFused
+	m.Dev = device.New("t", device.A100())
+	if err := m.InitFromDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	return ds, m
+}
+
+func TestRunExecutesEpochsAndHistory(t *testing.T) {
+	ds, m := setup(t, 8)
+	st := OptStepper{M: m, Opt: optimize.NewFEKF()}
+	calls := 0
+	res, err := Run(m, st, ds, Config{
+		BatchSize: 4, MaxEpochs: 3, Seed: 1, EvalSubset: 8,
+		OnEpoch: func(int, deepmd.Metrics) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 3 || len(res.History) != 3 || calls != 3 {
+		t.Fatalf("epochs=%d history=%d calls=%d", res.Epochs, len(res.History), calls)
+	}
+	if res.Iterations != 3*2 { // 8 samples / bs 4 = 2 iterations per epoch
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	if res.Converged {
+		t.Fatal("no target set, must not report convergence")
+	}
+	if res.Optimizer != "FEKF" {
+		t.Fatalf("optimizer name %q", res.Optimizer)
+	}
+}
+
+func TestRunStopsAtTarget(t *testing.T) {
+	ds, m := setup(t, 8)
+	st := OptStepper{M: m, Opt: optimize.NewFEKF()}
+	// generous target: the bias init already puts per-atom error < 10
+	res, err := Run(m, st, ds, Config{
+		BatchSize: 4, MaxEpochs: 50, TargetEnergyRMSE: 10, Seed: 1, EvalSubset: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Epochs != 1 {
+		t.Fatalf("expected immediate convergence, got epochs=%d converged=%v", res.Epochs, res.Converged)
+	}
+}
+
+func TestRunBestTracksMinimum(t *testing.T) {
+	ds, m := setup(t, 8)
+	st := OptStepper{M: m, Opt: optimize.NewAdam()}
+	res, err := Run(m, st, ds, Config{BatchSize: 2, MaxEpochs: 4, Seed: 2, EvalSubset: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.History {
+		if res.Best.EnergyPerAtomRMSE > h.Metrics.EnergyPerAtomRMSE+1e-15 {
+			t.Fatal("Best is not the minimum of History")
+		}
+	}
+}
+
+func TestPlateauTarget(t *testing.T) {
+	ds, m := setup(t, 8)
+	st := OptStepper{M: m, Opt: optimize.NewAdam()}
+	target, res, err := PlateauTarget(m, st, ds, Config{BatchSize: 1, MaxEpochs: 2, Seed: 3, EvalSubset: 8}, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target <= 0 {
+		t.Fatalf("target = %v", target)
+	}
+	if target < res.Best.EnergyPerAtomRMSE {
+		t.Fatal("relaxed target below the best achieved error")
+	}
+}
