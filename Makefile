@@ -1,0 +1,29 @@
+# Verification targets for the FEKF reproduction.  `make ci` is the gate
+# every change must pass: vet, the full test suite, and the concurrency-
+# sensitive packages (worker pool, cluster, device accounting) under the
+# race detector.
+
+GO ?= go
+
+.PHONY: ci vet test race bench fmt
+
+ci: vet test race
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# The host worker pool, the per-block Kalman parallelism, the ring
+# allreduce and the lock-free device counters all run goroutine-concurrent;
+# keep them race-clean.
+race:
+	$(GO) test -race -timeout 45m ./internal/...
+
+# Host-parallelism speedup curve (Kalman block update, GEMM family).
+bench:
+	$(GO) test -bench 'Kalman|GEMM' -benchmem .
+
+fmt:
+	gofmt -l .

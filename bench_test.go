@@ -341,8 +341,103 @@ func BenchmarkAblationPgCache(b *testing.B) {
 	}
 }
 
-func byBS(bs int) string { return "bs" + itoa(bs) }
-func byGPU(g int) string { return "gpus" + itoa(g) }
+// setBenchWorkers pins the tensor pool's worker count for one
+// sub-benchmark and restores the previous setting on cleanup.
+func setBenchWorkers(b *testing.B, w int) {
+	b.Helper()
+	prev := tensor.SetWorkers(w)
+	b.Cleanup(func() { tensor.SetWorkers(prev) })
+}
+
+// benchWorkerCounts are the host-parallelism points of the speedup curve;
+// workers1 is the serial baseline the parallel results must match bitwise.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkKalmanBlockUpdate measures the full blocked Kalman measurement
+// update (P·g, gain, fused P update, weight increment over four
+// 1024-parameter blocks) across pool worker counts.  The blocks are
+// independent, so the per-block loop and the row/stripe-sharded kernels
+// scale with host cores while staying bitwise identical to workers1.
+func BenchmarkKalmanBlockUpdate(b *testing.B) {
+	const nParams = 4096
+	rng := rand.New(rand.NewSource(31))
+	g := make([]float64, nParams)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(byWorkers(w), func(b *testing.B) {
+			setBenchWorkers(b, w)
+			cfg := optimize.DefaultKalmanConfig().WithOpt3()
+			cfg.BlockSize = 1024
+			ks := optimize.NewKalmanState(cfg, []int{nParams}, device.New("b", device.A100()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ks.Update(g, 0.1, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkKalmanPUpdateFused measures the striped single-pass P-update
+// kernel alone at the paper-scale block edge.
+func BenchmarkKalmanPUpdateFused(b *testing.B) {
+	const n = 2048
+	rng := rand.New(rand.NewSource(37))
+	k := tensor.RandNormal(n, 1, 1, rng)
+	for _, w := range benchWorkerCounts {
+		b.Run(byWorkers(w), func(b *testing.B) {
+			setBenchWorkers(b, w)
+			p := tensor.Eye(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.PUpdateFused(p, k, 1.2, 0.98)
+			}
+		})
+	}
+}
+
+// BenchmarkGEMMWorkers measures the row-sharded square GEMM across pool
+// worker counts.
+func BenchmarkGEMMWorkers(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(41))
+	x := tensor.RandNormal(n, n, 1, rng)
+	y := tensor.RandNormal(n, n, 1, rng)
+	for _, w := range benchWorkerCounts {
+		b.Run(byWorkers(w), func(b *testing.B) {
+			setBenchWorkers(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = tensor.MatMul(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkGEMMSymMatVec measures the sharded symmetric mat-vec — the
+// P·g product that dominates each Kalman block — at the block edge of the
+// speedup criterion.
+func BenchmarkGEMMSymMatVec(b *testing.B) {
+	const n = 1024
+	rng := rand.New(rand.NewSource(43))
+	p := tensor.RandNormal(n, n, 1, rng)
+	x := tensor.RandNormal(n, 1, 1, rng)
+	y := tensor.New(n, 1)
+	for _, w := range benchWorkerCounts {
+		b.Run(byWorkers(w), func(b *testing.B) {
+			setBenchWorkers(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.SymMatVecInto(y, p, x)
+			}
+		})
+	}
+}
+
+func byBS(bs int) string     { return "bs" + itoa(bs) }
+func byGPU(g int) string     { return "gpus" + itoa(g) }
+func byWorkers(w int) string { return "workers" + itoa(w) }
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

@@ -20,6 +20,7 @@ import (
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
 	"fekf/internal/optimize"
+	"fekf/internal/tensor"
 	"fekf/internal/train"
 )
 
@@ -41,8 +42,10 @@ func main() {
 		savePath  = flag.String("save", "", "write the trained model checkpoint here")
 		loadPath  = flag.String("load", "", "resume from a model checkpoint")
 		tracePath = flag.String("trace", "", "write a chrome://tracing kernel timeline here")
+		workers   = flag.Int("workers", 0, "host worker pool size for parallel kernels (0 = GOMAXPROCS / FEKF_WORKERS)")
 	)
 	flag.Parse()
+	tensor.SetWorkers(*workers)
 
 	var ds *dataset.Dataset
 	var err error

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -214,5 +215,124 @@ func TestModeledIterationTime(t *testing.T) {
 	}
 	if dp.Workers() != 2 || len(dp.Devices()) != 2 {
 		t.Fatal("worker bookkeeping wrong")
+	}
+}
+
+// TestAllreduceModeledTimeChargesMaxChunk: with uneven chunks (size does
+// not divide the element count) every ring step must be charged for the
+// largest chunk in flight, since all chunks move concurrently and the
+// busiest link bounds the step.
+func TestAllreduceModeledTimeChargesMaxChunk(t *testing.T) {
+	const size, n = 3, 10 // chunk sizes 3,3,4 → max 4
+	ring := NewRing(size, RoCE25())
+	data := make([][]float64, size)
+	for w := range data {
+		data[w] = make([]float64, n)
+	}
+	runAllreduce(ring, data)
+	model := RoCE25()
+	steps := 2 * (size - 1)
+	want := float64(steps) * (model.StepLatencyNs + 4*8/model.BytesPerNs)
+	if got := ring.ModeledNs(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("modeled ns = %v want %v (max-chunk charging)", got, want)
+	}
+}
+
+// TestInjectedRankFailureKeepsReplicasConsistent: when one rank's
+// environment build fails mid-step, every rank must still apply the
+// identical reduced update, so the replicas stay bitwise consistent and
+// training can continue.
+func TestInjectedRankFailureKeepsReplicasConsistent(t *testing.T) {
+	ds, m := clusterSetup(t)
+	dp := NewDataParallelFEKF(3, m)
+	idx := []int{0, 1, 2, 3, 4, 5}
+	if _, err := dp.Step(ds, idx); err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	dp.envFail = func(rank int) error {
+		if rank == 1 {
+			failures++
+			return errors.New("injected env failure")
+		}
+		return nil
+	}
+	if _, err := dp.Step(ds, idx); err == nil {
+		t.Fatal("injected failure must surface as a step error")
+	}
+	if failures == 0 {
+		t.Fatal("failure hook never fired")
+	}
+	if drift := dp.ReplicaDrift(); drift != 0 {
+		t.Fatalf("replicas drifted by %v after a rank failure", drift)
+	}
+	// The survivors' data must still have advanced training: a healthy
+	// follow-up step keeps the replicas exact.
+	dp.envFail = nil
+	if _, err := dp.Step(ds, idx); err != nil {
+		t.Fatal(err)
+	}
+	if drift := dp.ReplicaDrift(); drift != 0 {
+		t.Fatalf("replicas drifted by %v on the step after a failure", drift)
+	}
+}
+
+// TestAllRanksFailingAbortsAtomically: if no rank contributes data, the
+// step must abort before mutating any optimizer or weight state.
+func TestAllRanksFailingAbortsAtomically(t *testing.T) {
+	ds, m := clusterSetup(t)
+	dp := NewDataParallelFEKF(2, m)
+	idx := []int{0, 1, 2, 3}
+	if _, err := dp.Step(ds, idx); err != nil {
+		t.Fatal(err)
+	}
+	before := dp.Model().Params.FlattenValues()
+	lambda := dp.states[0].Lambda
+	dp.envFail = func(rank int) error { return errors.New("injected total failure") }
+	if _, err := dp.Step(ds, idx); err == nil {
+		t.Fatal("total failure must surface as a step error")
+	}
+	after := dp.Model().Params.FlattenValues()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("weight %d mutated by an all-failed step", i)
+		}
+	}
+	if dp.states[0].Lambda != lambda {
+		t.Fatal("lambda schedule advanced on an all-failed step")
+	}
+	if drift := dp.ReplicaDrift(); drift != 0 {
+		t.Fatalf("replicas drifted by %v after total failure", drift)
+	}
+}
+
+// TestDistributedStepReportsForceABE: the distributed StepInfo must honor
+// the single-device contract and report the batch-global mean absolute
+// force-component error.
+func TestDistributedStepReportsForceABE(t *testing.T) {
+	ds, m := clusterSetup(t)
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	single := optimize.NewFEKF()
+	mS := m.CloneFor(device.New("s", device.A100()))
+	infoS, err := single.Step(mS, ds, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dp := NewDataParallelFEKF(2, m)
+	infoD, err := dp.Step(ds, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoD.ForceABE == 0 {
+		t.Fatal("distributed StepInfo dropped ForceABE")
+	}
+	if rel := math.Abs(infoD.ForceABE-infoS.ForceABE) / infoS.ForceABE; rel > 1e-8 {
+		t.Fatalf("distributed ForceABE %v vs single-device %v (rel %v)",
+			infoD.ForceABE, infoS.ForceABE, rel)
+	}
+	if infoD.EnergyABE == 0 {
+		t.Fatal("distributed StepInfo dropped EnergyABE")
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -27,6 +28,11 @@ type DataParallelFEKF struct {
 	replicas []*deepmd.Model
 	states   []*optimize.KalmanState
 	devs     []*device.Device
+
+	// envFail, when non-nil, injects a per-rank environment-build failure
+	// after BuildBatchEnv succeeds; the consistency tests use it to prove
+	// that a failing rank cannot make the replicas diverge.
+	envFail func(rank int) error
 }
 
 // NewDataParallelFEKF builds a trainer with `workers` ranks replicated
@@ -94,6 +100,16 @@ func chunkOf(idx []int, rank, size int) []int {
 }
 
 // Step performs one distributed FEKF iteration over the minibatch idx.
+//
+// Failure semantics: a rank whose environment build fails still runs the
+// full collective schedule, contributing zero gradient/error partials, and
+// then applies the same reduced update every surviving rank applies — the
+// reduced buffers are bit-identical on every rank after the allgather, so
+// the replicas (weights and P) cannot diverge across a partial failure.
+// Each Kalman update is gated on the reduced sample count, so a step in
+// which no rank contributed (total failure) aborts atomically: every rank
+// skips every state mutation.  The first error is still returned so the
+// caller can see the failure; training may safely continue afterwards.
 func (dp *DataParallelFEKF) Step(ds *dataset.Dataset, idx []int) (optimize.StepInfo, error) {
 	r := dp.ring.Size()
 	if dp.states == nil {
@@ -119,55 +135,79 @@ func (dp *DataParallelFEKF) Step(ds *dataset.Dataset, idx []int) (optimize.StepI
 			ks := dp.states[rank]
 			chunk := chunkOf(idx, rank, r)
 			env, err := deepmd.BuildBatchEnv(m.Cfg, ds, chunk)
-			if err != nil {
-				errs[rank] = err
-				// keep collectives aligned: participate with zeros
-				dp.ring.Allreduce(rank, make([]float64, nParams+2))
-				for grp := 0; grp < dp.ForceGroups; grp++ {
-					dp.ring.Allreduce(rank, make([]float64, nParams+2))
-				}
-				return
+			if err == nil && dp.envFail != nil {
+				err = dp.envFail(rank)
 			}
-			lab := deepmd.BatchLabels(ds, chunk)
+			errs[rank] = err
+			var lab *deepmd.Labels
+			if err == nil {
+				lab = deepmd.BatchLabels(ds, chunk)
+			}
 
-			// ---- energy update
-			out := m.Forward(env, false)
-			seedE, absSum := optimize.EnergySeed(out, lab)
+			// ---- energy update: every rank reduces and applies; a failed
+			// rank's partials stay zero.
 			buf := make([]float64, nParams+2)
-			copy(buf, m.EnergyGrad(out, seedE))
-			buf[nParams] = absSum
-			buf[nParams+1] = float64(len(chunk))
+			var out *deepmd.Output
+			if err == nil {
+				out = m.Forward(env, false)
+				seedE, absSum := optimize.EnergySeed(out, lab)
+				copy(buf, m.EnergyGrad(out, seedE))
+				buf[nParams] = absSum
+				buf[nParams+1] = float64(len(chunk))
+			}
 			dp.ring.Allreduce(rank, buf)
-			abe := buf[nParams] / (buf[nParams+1] * eDiv)
-			m.Params.AddFlat(ks.Update(buf[:nParams], abe, scale))
-			out.Graph.Release()
+			abe := 0.0
+			if buf[nParams+1] > 0 {
+				abe = buf[nParams] / (buf[nParams+1] * eDiv)
+				m.Params.AddFlat(ks.Update(buf[:nParams], abe, scale))
+			}
+			if out != nil {
+				out.Graph.Release()
+			}
 
 			// ---- force updates
-			out2 := m.Forward(env, true)
+			var out2 *deepmd.Output
+			fErr := make([]float64, 2) // Σ|ΔF| and component count, for StepInfo
+			if err == nil {
+				out2 = m.Forward(env, true)
+				sum, count := optimize.ForceErrorSum(out2, lab)
+				fErr[0], fErr[1] = sum, float64(count)
+			}
 			for grp := 0; grp < dp.ForceGroups; grp++ {
-				seedF, fSum, count := optimize.ForceSeed(out2, lab, grp, dp.ForceGroups)
 				fbuf := make([]float64, nParams+2)
-				copy(fbuf, m.ForceGrad(out2, seedF))
-				fbuf[nParams] = fSum
-				fbuf[nParams+1] = float64(count)
-				dp.ring.Allreduce(rank, fbuf)
-				fabe := 0.0
-				if fbuf[nParams+1] > 0 {
-					fabe = fbuf[nParams] / (fbuf[nParams+1] * fDiv)
+				if out2 != nil {
+					seedF, fSum, count := optimize.ForceSeed(out2, lab, grp, dp.ForceGroups)
+					copy(fbuf, m.ForceGrad(out2, seedF))
+					fbuf[nParams] = fSum
+					fbuf[nParams+1] = float64(count)
 				}
-				m.Params.AddFlat(ks.Update(fbuf[:nParams], fabe, scale))
+				dp.ring.Allreduce(rank, fbuf)
+				if fbuf[nParams+1] > 0 {
+					fabe := fbuf[nParams] / (fbuf[nParams+1] * fDiv)
+					m.Params.AddFlat(ks.Update(fbuf[:nParams], fabe, scale))
+				}
+			}
+
+			// ---- reduce the force-error diagnostic so the distributed
+			// StepInfo matches the single-device contract (batch-global
+			// mean absolute force-component error).
+			dp.ring.AllreduceScalars(rank, fErr)
+			forceABE := 0.0
+			if fErr[1] > 0 {
+				forceABE = fErr[0] / fErr[1]
 			}
 			infos[rank] = optimize.StepInfo{
 				EnergyABE: abe,
+				ForceABE:  forceABE,
 			}
-			out2.Graph.Release()
+			if out2 != nil {
+				out2.Graph.Release()
+			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return optimize.StepInfo{}, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return infos[0], err
 	}
 	return infos[0], nil
 }

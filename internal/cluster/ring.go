@@ -115,11 +115,19 @@ func (r *Ring) Allreduce(rank int, data []float64) {
 	}
 	n := len(data)
 	bounds := make([][2]int, r.size)
+	maxChunk := 0
 	for c := 0; c < r.size; c++ {
 		lo := c * n / r.size
 		hi := (c + 1) * n / r.size
 		bounds[c] = [2]int{lo, hi}
+		if hi-lo > maxChunk {
+			maxChunk = hi - lo
+		}
 	}
+	// Every ring step moves all size chunks concurrently (one per rank), so
+	// the step's modeled duration is governed by the largest chunk in
+	// flight, not by whichever chunk rank 0 happens to move.
+	maxChunkBytes := int64(maxChunk) * 8
 	chunkOf := func(c int) []float64 {
 		return data[bounds[c][0]:bounds[c][1]]
 	}
@@ -142,7 +150,7 @@ func (r *Ring) Allreduce(rank int, data []float64) {
 			dst[k] += v
 		}
 		if rank == 0 {
-			r.accountStep(int64(len(in)) * 8)
+			r.accountStep(maxChunkBytes)
 		}
 		r.Barrier()
 	}
@@ -158,7 +166,7 @@ func (r *Ring) Allreduce(rank int, data []float64) {
 		recvIdx := mod(rank-s, r.size)
 		copy(chunkOf(recvIdx), in)
 		if rank == 0 {
-			r.accountStep(int64(len(in)) * 8)
+			r.accountStep(maxChunkBytes)
 		}
 		r.Barrier()
 	}

@@ -142,14 +142,19 @@ type Device struct {
 	live atomic.Int64
 	peak atomic.Int64
 
-	mu     sync.Mutex
-	byName map[string]int64 // launches per kernel name, for diagnostics
-	tracer *Tracer
+	// byName counts launches per kernel name for diagnostics.  It is a
+	// sync.Map of *atomic.Int64 behind an atomic pointer (swapped on
+	// Reset) so that Launch — now called concurrently from the host
+	// worker pool and the cluster's rank goroutines — stays lock-free.
+	byName atomic.Pointer[sync.Map]
+	tracer atomic.Pointer[Tracer]
 }
 
 // New returns a device with the given name and cost model.
 func New(name string, model CostModel) *Device {
-	return &Device{name: name, model: model, byName: make(map[string]int64)}
+	d := &Device{name: name, model: model}
+	d.byName.Store(new(sync.Map))
+	return d
 }
 
 // Default is a process-wide device used when code does not care about
@@ -176,6 +181,12 @@ func (d *Device) CurrentPhase() Phase { return Phase(d.phase.Load()) }
 // the single entry point all simulated kernels go through; the fused kernels
 // of the paper's Opt2/Opt3 call it once where the unfused graph calls it
 // several times.
+//
+// Launch is safe for concurrent use and lock-free on the hot path: every
+// counter is an atomic, so the totals (and hence the modeled device time)
+// are identical no matter how host goroutines interleave their launches —
+// the property that lets the worker pool parallelize kernels without
+// perturbing the simulated accounting.
 func (d *Device) Launch(name string, flops, bytes int64) {
 	if d == nil {
 		return
@@ -192,11 +203,13 @@ func (d *Device) Launch(name string, flops, bytes int64) {
 	}
 	d.phasePs[p].Add(ps)
 	d.phaseKern[p].Add(1)
-	d.mu.Lock()
-	d.byName[name]++
-	tr := d.tracer
-	d.mu.Unlock()
-	if tr != nil {
+	m := d.byName.Load()
+	c, ok := m.Load(name)
+	if !ok {
+		c, _ = m.LoadOrStore(name, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+	if tr := d.tracer.Load(); tr != nil {
 		tr.record(name, Phase(p), ns)
 	}
 }
@@ -268,24 +281,21 @@ func (d *Device) Reset() {
 	}
 	d.live.Store(0)
 	d.peak.Store(0)
-	d.mu.Lock()
-	d.byName = make(map[string]int64)
-	d.mu.Unlock()
+	d.byName.Store(new(sync.Map))
 }
 
 // KernelBreakdown returns "name: count" lines sorted by descending count,
 // useful when debugging which ops dominate a phase.
 func (d *Device) KernelBreakdown() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	type kv struct {
 		name string
 		n    int64
 	}
-	all := make([]kv, 0, len(d.byName))
-	for k, v := range d.byName {
-		all = append(all, kv{k, v})
-	}
+	var all []kv
+	d.byName.Load().Range(func(k, v any) bool {
+		all = append(all, kv{k.(string), v.(*atomic.Int64).Load()})
+		return true
+	})
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].n != all[j].n {
 			return all[i].n > all[j].n

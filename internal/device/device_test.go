@@ -183,3 +183,68 @@ func TestTracerRecordsAndWrites(t *testing.T) {
 		t.Fatalf("trace = %+v", parsed.TraceEvents)
 	}
 }
+
+// TestConcurrentLaunchAccounting: the host worker pool launches kernels
+// from many goroutines against one device; every counter (including the
+// modeled time, which accumulates in integer picoseconds) must land on
+// the exact serial totals regardless of interleaving.
+func TestConcurrentLaunchAccounting(t *testing.T) {
+	d := New("concurrent", A100())
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d.Launch("conc_kernel", 10, 80)
+				d.Alloc(64)
+				d.Free(64)
+			}
+		}()
+	}
+	wg.Wait()
+	c := d.Counters()
+	const total = goroutines * perG
+	if c.Kernels != total {
+		t.Fatalf("kernels = %d want %d", c.Kernels, total)
+	}
+	if c.Flops != 10*total || c.Bytes != 80*total {
+		t.Fatalf("flops/bytes = %d/%d want %d/%d", c.Flops, c.Bytes, 10*total, 80*total)
+	}
+	perLaunchPs := int64(d.Model().KernelNs(10, 80) * 1000)
+	if want := float64(perLaunchPs*total) / 1000; c.ModeledNs != want {
+		t.Fatalf("modeled ns = %v want %v", c.ModeledNs, want)
+	}
+	if c.LiveBytes != 0 {
+		t.Fatalf("live bytes = %d want 0", c.LiveBytes)
+	}
+	found := false
+	for _, line := range d.KernelBreakdown() {
+		if line == "conc_kernel: 4000" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("breakdown missing exact per-name count: %v", d.KernelBreakdown())
+	}
+}
+
+// TestConcurrentTraceAttachDetach: attaching and detaching a tracer while
+// launches are in flight must be race-free (the tracer pointer is atomic).
+func TestConcurrentTraceAttachDetach(t *testing.T) {
+	d := New("trace-conc", A100())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			d.Launch("k", 5, 40)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		tr := d.StartTrace()
+		d.StopTrace()
+		_ = tr.NumEvents()
+	}
+	<-done
+}

@@ -31,17 +31,13 @@ type traceEvent struct {
 // recorded until StopTrace.
 func (d *Device) StartTrace() *Tracer {
 	t := &Tracer{}
-	d.mu.Lock()
-	d.tracer = t
-	d.mu.Unlock()
+	d.tracer.Store(t)
 	return t
 }
 
 // StopTrace detaches the tracer.
 func (d *Device) StopTrace() {
-	d.mu.Lock()
-	d.tracer = nil
-	d.mu.Unlock()
+	d.tracer.Store(nil)
 }
 
 // record adds one kernel with the given modeled duration to the phase's

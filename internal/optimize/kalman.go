@@ -67,7 +67,10 @@ func NewKalmanState(cfg KalmanConfig, layerSizes []int, dev *device.Device) *Kal
 		n := b.Size()
 		ks.P = append(ks.P, tensor.Eye(n))
 		ks.pg = append(ks.pg, tensor.New(n, 1))
-		dev.Alloc(int64(n) * int64(n) * 8)
+		// Both the P block and its P·g scratch vector live in device
+		// memory; accounting the scratch keeps the memcomm experiment's
+		// peak figures honest about optimizer state.
+		dev.Alloc(int64(n)*int64(n)*8 + int64(n)*8)
 	}
 	return ks
 }
@@ -81,9 +84,20 @@ func (ks *KalmanState) PBytes() int64 {
 	return total
 }
 
-// Free releases the P blocks from the device allocator.
+// ScratchBytes returns the device memory held by the per-block P·g
+// scratch vectors.
+func (ks *KalmanState) ScratchBytes() int64 {
+	var total int64
+	for _, v := range ks.pg {
+		total += int64(v.Len()) * 8
+	}
+	return total
+}
+
+// Free releases everything NewKalmanState allocated on the device: the P
+// blocks and the P·g scratch vectors.
 func (ks *KalmanState) Free() {
-	ks.Dev.Free(ks.PBytes())
+	ks.Dev.Free(ks.PBytes() + ks.ScratchBytes())
 	ks.P = nil
 	ks.pg = nil
 }
@@ -93,12 +107,29 @@ func (ks *KalmanState) Free() {
 // parameter vector) and the reduced absolute error abe, it refreshes P and
 // returns the weight increment Δw = scale·abe·K, where scale carries the
 // quasi-learning-rate factor (√bs for FEKF).
+// Blocks are independent — each touches only its own P[i], pg[i] and
+// delta[b.Lo:b.Hi] slices — so the per-block loop runs across the shared
+// tensor worker pool; the result is bitwise identical to serial execution
+// at every worker count (device counters are atomic, so the simulated
+// accounting is also unchanged).
 func (ks *KalmanState) Update(g []float64, abe, scale float64) []float64 {
 	prev := ks.Dev.SetPhase(device.PhaseOptimizer)
 	defer ks.Dev.SetPhase(prev)
 
 	delta := make([]float64, len(g))
-	for i, b := range ks.Blocks {
+	tensor.ParallelFor(len(ks.Blocks), func(blo, bhi int) {
+		ks.updateBlocks(delta, g, abe, scale, blo, bhi)
+	})
+
+	ks.Lambda = ks.Lambda*ks.Cfg.Nu + 1 - ks.Cfg.Nu
+	ks.Updates++
+	return delta
+}
+
+// updateBlocks applies the measurement update to blocks [blo,bhi).
+func (ks *KalmanState) updateBlocks(delta, g []float64, abe, scale float64, blo, bhi int) {
+	for i := blo; i < bhi; i++ {
+		b := ks.Blocks[i]
 		n := b.Size()
 		gi := tensor.Vector(g[b.Lo:b.Hi])
 		p := ks.P[i]
@@ -146,10 +177,6 @@ func (ks *KalmanState) Update(g []float64, abe, scale float64) []float64 {
 		}
 		ks.Dev.Launch("w_increment", int64(n), int64(2*n)*8)
 	}
-
-	ks.Lambda = ks.Lambda*ks.Cfg.Nu + 1 - ks.Cfg.Nu
-	ks.Updates++
-	return delta
 }
 
 // QuasiLRFactor is the batch-size factor applied to the weight increment

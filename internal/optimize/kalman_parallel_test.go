@@ -1,0 +1,81 @@
+package optimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"fekf/internal/device"
+	"fekf/internal/tensor"
+)
+
+// parallelLayerSizes yields a multi-block split (including a split layer
+// and a gathered tail) at the small test block size.
+var parallelLayerSizes = []int{70, 300, 64, 41}
+
+// TestKalmanUpdateParallelBitwiseMatchesSerial drives the same update
+// sequence through a serial and a parallel KalmanState and requires the
+// weight increments and every P block to stay bitwise identical — the
+// determinism contract of the per-block pool parallelism.
+func TestKalmanUpdateParallelBitwiseMatchesSerial(t *testing.T) {
+	for _, opt3 := range []bool{false, true} {
+		cfg := DefaultKalmanConfig()
+		cfg.BlockSize = 128
+		if opt3 {
+			cfg = cfg.WithOpt3()
+		}
+		serial := NewKalmanState(cfg, parallelLayerSizes, device.New("s", device.A100()))
+		par := NewKalmanState(cfg, parallelLayerSizes, device.New("p", device.A100()))
+		if len(serial.Blocks) < 3 {
+			t.Fatalf("want a multi-block split, got %d blocks", len(serial.Blocks))
+		}
+		n := serial.Blocks[len(serial.Blocks)-1].Hi
+		rng := rand.New(rand.NewSource(61))
+		for step := 0; step < 3; step++ {
+			g := make([]float64, n)
+			for i := range g {
+				g[i] = rng.NormFloat64()
+			}
+			var dS, dP []float64
+			prev := tensor.SetWorkers(1)
+			dS = serial.Update(g, 0.2, 1.5)
+			tensor.SetWorkers(4)
+			dP = par.Update(g, 0.2, 1.5)
+			tensor.SetWorkers(prev)
+			for i := range dS {
+				if dS[i] != dP[i] {
+					t.Fatalf("opt3=%v step %d: delta[%d] = %v (parallel) vs %v (serial)",
+						opt3, step, i, dP[i], dS[i])
+				}
+			}
+			for b := range serial.P {
+				for i, v := range serial.P[b].Data {
+					if par.P[b].Data[i] != v {
+						t.Fatalf("opt3=%v step %d: P[%d] elem %d diverged", opt3, step, b, i)
+					}
+				}
+			}
+		}
+		if serial.Lambda != par.Lambda || serial.Updates != par.Updates {
+			t.Fatal("lambda schedule diverged between serial and parallel states")
+		}
+	}
+}
+
+// TestKalmanStateDeviceMemoryAccounting: the allocator must see both the
+// P blocks and the P·g scratch vectors, and Free must return live bytes
+// to exactly zero (the memcomm experiment's peak figures depend on this).
+func TestKalmanStateDeviceMemoryAccounting(t *testing.T) {
+	dev := device.New("mem", device.A100())
+	ks := NewKalmanState(DefaultKalmanConfig(), []int{50, 30}, dev)
+	want := ks.PBytes() + ks.ScratchBytes()
+	if ks.ScratchBytes() == 0 {
+		t.Fatal("scratch bytes not tracked")
+	}
+	if got := dev.Counters().LiveBytes; got != want {
+		t.Fatalf("live bytes = %d want P+scratch = %d", got, want)
+	}
+	ks.Free()
+	if got := dev.Counters().LiveBytes; got != 0 {
+		t.Fatalf("live bytes after Free = %d want 0", got)
+	}
+}

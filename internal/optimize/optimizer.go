@@ -90,15 +90,23 @@ func ForceSeed(out *deepmd.Output, lab *deepmd.Labels, group, nGroups int) (seed
 	return seed, absSum, count
 }
 
+// ForceErrorSum returns the raw Σ|ΔF| over every force component together
+// with the component count; the distributed trainer allreduces these
+// partials so its StepInfo.ForceABE reports the batch-global mean the
+// single-device Step contract promises.
+func ForceErrorSum(out *deepmd.Output, lab *deepmd.Labels) (absSum float64, count int) {
+	n := out.Forces.Rows()
+	for i := 0; i < n; i++ {
+		absSum += math.Abs(out.Forces.Value.Data[i] - lab.Force.Data[i])
+	}
+	return absSum, n
+}
+
 // meanAbsForceError is a diagnostic over all components.
 func meanAbsForceError(out *deepmd.Output, lab *deepmd.Labels) float64 {
-	n := out.Forces.Rows()
+	s, n := ForceErrorSum(out, lab)
 	if n == 0 {
 		return 0
-	}
-	s := 0.0
-	for i := 0; i < n; i++ {
-		s += math.Abs(out.Forces.Value.Data[i] - lab.Force.Data[i])
 	}
 	return s / float64(n)
 }

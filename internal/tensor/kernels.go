@@ -75,6 +75,12 @@ func PUpdateNaive(p, k *Dense, a, lambda float64) (tmpElems int64) {
 // the same update as PUpdateNaive — (1/λ)(P − (1/a)KKᵀ) followed by
 // symmetrization — but walks the upper triangle once, writes both mirror
 // elements, and allocates nothing.
+//
+// Rows are striped round-robin across the worker pool: iteration i reads
+// and writes exactly the element pairs {(i,j),(j,i) : j ≥ i}, i.e. the
+// pairs whose smaller index is i, so stripes touch disjoint memory and
+// the result is bitwise identical at every worker count.  Striping (rather
+// than contiguous ranges) balances the triangular row costs.
 func PUpdateFused(p, k *Dense, a, lambda float64) {
 	n := p.Rows
 	if p.Cols != n || k.Rows != n || k.Cols != 1 {
@@ -82,18 +88,21 @@ func PUpdateFused(p, k *Dense, a, lambda float64) {
 	}
 	invA := 1 / a
 	invL := 1 / lambda
-	for i := 0; i < n; i++ {
-		ki := k.Data[i]
-		rowI := p.Data[i*n:]
-		p.Data[i*n+i] = invL * (p.Data[i*n+i] - invA*ki*ki)
-		for j := i + 1; j < n; j++ {
-			// symmetrize and update in one expression; KKᵀ is symmetric
-			// already, so only P needs averaging.
-			v := invL * (0.5*(rowI[j]+p.Data[j*n+i]) - invA*ki*k.Data[j])
-			rowI[j] = v
-			p.Data[j*n+i] = v
+	flops := 3 * int64(n) * int64(n)
+	parallelStriped(n, flops, func(start, stride int) {
+		for i := start; i < n; i += stride {
+			ki := k.Data[i]
+			rowI := p.Data[i*n:]
+			p.Data[i*n+i] = invL * (p.Data[i*n+i] - invA*ki*ki)
+			for j := i + 1; j < n; j++ {
+				// symmetrize and update in one expression; KKᵀ is symmetric
+				// already, so only P needs averaging.
+				v := invL * (0.5*(rowI[j]+p.Data[j*n+i]) - invA*ki*k.Data[j])
+				rowI[j] = v
+				p.Data[j*n+i] = v
+			}
 		}
-	}
+	})
 }
 
 // SymmetrizeInPlace replaces p with (p + pᵀ)/2 without temporaries.
