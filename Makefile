@@ -1,13 +1,14 @@
 # Verification targets for the FEKF reproduction.  `make ci` is the gate
-# every change must pass: vet, the full test suite, and the concurrency-
+# every change must pass: vet, the full test suite, the concurrency-
 # sensitive packages (worker pool, cluster, device accounting) under the
-# race detector.
+# race detector — including the pipelined Kalman schedule — and a short
+# fuzz pass over the determinism-critical kernels.
 
 GO ?= go
 
-.PHONY: ci vet test race bench fmt
+.PHONY: ci vet test race race-pipeline fuzz bench fmt
 
-ci: vet test race
+ci: vet test race race-pipeline fuzz
 
 vet:
 	$(GO) vet ./...
@@ -21,9 +22,24 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./internal/...
 
-# Host-parallelism speedup curve (Kalman block update, GEMM family).
+# Exercise the force-group pipeline (background covariance drains
+# overlapping forward/backward and ring collectives) under the race
+# detector, with the pipeline forced on regardless of the environment.
+race-pipeline:
+	FEKF_PIPELINE=1 $(GO) test -race -timeout 45m -run 'Pipelin|Golden|UpdateSplit' \
+		./internal/optimize ./internal/cluster ./internal/train
+
+# Short fuzz pass over the kernels whose parallel==serial bitwise contract
+# the pipeline relies on (go test runs one fuzz target per invocation).
+fuzz:
+	$(GO) test ./internal/tensor -run '^$$' -fuzz '^FuzzGEMMParallelMatchesSerial$$' -fuzztime 5s
+	$(GO) test ./internal/tensor -run '^$$' -fuzz '^FuzzPUpdateFusedParallelMatchesSerial$$' -fuzztime 5s
+	$(GO) test ./internal/tensor -run '^$$' -fuzz '^FuzzSymMatVecParallelMatchesSerial$$' -fuzztime 5s
+
+# Host-parallelism speedup curve (Kalman block update, GEMM family, the
+# pipelined FEKF iteration).
 bench:
-	$(GO) test -bench 'Kalman|GEMM' -benchmem .
+	$(GO) test -bench 'Kalman|GEMM|FEKFPipeline' -benchmem .
 
 fmt:
 	gofmt -l .

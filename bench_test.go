@@ -379,6 +379,37 @@ func BenchmarkKalmanBlockUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkFEKFPipeline measures the full FEKF iteration with the
+// two-stage force-group pipeline off and on, across pool worker counts.
+// The pipelined schedule overlaps each measurement's covariance drain with
+// the next group's backward, so its win is the drain time it hides; the
+// results are bitwise identical either way (pipeline_test.go).
+func BenchmarkFEKFPipeline(b *testing.B) {
+	for _, pipelined := range []bool{false, true} {
+		name := "serial"
+		if pipelined {
+			name = "pipelined"
+		}
+		for _, w := range benchWorkerCounts {
+			b.Run(name+"/"+byWorkers(w), func(b *testing.B) {
+				setBenchWorkers(b, w)
+				ds := benchData(b)
+				m := benchModel(b, deepmd.OptAll)
+				opt := optimize.NewFEKF()
+				opt.KCfg = opt.KCfg.WithOpt3()
+				opt.Pipeline = pipelined
+				idx := batchIdx(ds.Len(), 16)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := opt.Step(m, ds, idx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkKalmanPUpdateFused measures the striped single-pass P-update
 // kernel alone at the paper-scale block edge.
 func BenchmarkKalmanPUpdateFused(b *testing.B) {

@@ -43,6 +43,8 @@ func main() {
 		loadPath  = flag.String("load", "", "resume from a model checkpoint")
 		tracePath = flag.String("trace", "", "write a chrome://tracing kernel timeline here")
 		workers   = flag.Int("workers", 0, "host worker pool size for parallel kernels (0 = GOMAXPROCS / FEKF_WORKERS)")
+		pipeline  = flag.Bool("pipeline", optimize.PipelineDefault(),
+			"overlap each Kalman covariance drain with the next force group (bitwise identical; also FEKF_PIPELINE)")
 	)
 	flag.Parse()
 	tensor.SetWorkers(*workers)
@@ -113,7 +115,7 @@ func main() {
 		if *optName != "fekf" {
 			log.Fatalf("train: -gpus > 1 requires -optimizer fekf")
 		}
-		runDistributed(m, trainSet, testSet, *bs, *gpus, *epochs, *target, *seed)
+		runDistributed(m, trainSet, testSet, *bs, *gpus, *epochs, *target, *seed, *pipeline)
 		return
 	}
 
@@ -122,12 +124,15 @@ func main() {
 	case "adam":
 		opt = optimize.NewAdam()
 	case "rlekf":
-		opt = optimize.NewRLEKF()
+		f := optimize.NewRLEKF()
+		f.Pipeline = *pipeline
+		opt = f
 	case "fekf":
 		f := optimize.NewFEKF()
 		if *level >= int(deepmd.OptAll) {
 			f.KCfg = f.KCfg.WithOpt3()
 		}
+		f.Pipeline = *pipeline
 		opt = f
 	case "naive":
 		opt = optimize.NewNaiveEKF()
@@ -151,9 +156,10 @@ func main() {
 	finish(m, testSet, res.Epochs, res.Converged, time.Since(start))
 }
 
-func runDistributed(m *deepmd.Model, trainSet, testSet *dataset.Dataset, bs, gpus, epochs int, target float64, seed int64) {
+func runDistributed(m *deepmd.Model, trainSet, testSet *dataset.Dataset, bs, gpus, epochs int, target float64, seed int64, pipeline bool) {
 	dp := cluster.NewDataParallelFEKF(gpus, m)
 	dp.KCfg = dp.KCfg.WithOpt3()
+	dp.Pipeline = pipeline
 	rng := rand.New(rand.NewSource(seed))
 	start := time.Now()
 	iters := trainSet.Len() / bs

@@ -23,6 +23,11 @@ type DataParallelFEKF struct {
 	ForceGroups int
 	EnergyDiv   optimize.TrustDiv
 	ForceDiv    optimize.TrustDiv
+	// Pipeline overlaps each rank's replicated P drain of force group k
+	// with group k+1's backward and ring allreduce (and the energy drain
+	// with the force forward pass); bitwise identical to the serial
+	// schedule.  Defaults to optimize.PipelineDefault().
+	Pipeline bool
 
 	ring     *Ring
 	replicas []*deepmd.Model
@@ -44,6 +49,7 @@ func NewDataParallelFEKF(workers int, m *deepmd.Model) *DataParallelFEKF {
 		ForceGroups: 4,
 		EnergyDiv:   optimize.DivSqrtAtoms,
 		ForceDiv:    optimize.DivAtoms,
+		Pipeline:    optimize.PipelineDefault(),
 		ring:        NewRing(workers, RoCE25()),
 	}
 	for w := 0; w < workers; w++ {
@@ -145,7 +151,8 @@ func (dp *DataParallelFEKF) Step(ds *dataset.Dataset, idx []int) (optimize.StepI
 			}
 
 			// ---- energy update: every rank reduces and applies; a failed
-			// rank's partials stay zero.
+			// rank's partials stay zero.  With the pipeline on, the energy
+			// P drain overlaps the force forward pass below.
 			buf := make([]float64, nParams+2)
 			var out *deepmd.Output
 			if err == nil {
@@ -157,15 +164,26 @@ func (dp *DataParallelFEKF) Step(ds *dataset.Dataset, idx []int) (optimize.StepI
 			}
 			dp.ring.Allreduce(rank, buf)
 			abe := 0.0
+			wait := func() {}
 			if buf[nParams+1] > 0 {
 				abe = buf[nParams] / (buf[nParams+1] * eDiv)
-				m.Params.AddFlat(ks.Update(buf[:nParams], abe, scale))
+				delta, drain := ks.UpdateSplit(buf[:nParams], abe, scale)
+				m.Params.AddFlat(delta)
+				wait = optimize.StartDrain(drain, dp.Pipeline)
 			}
 			if out != nil {
 				out.Graph.Release()
 			}
 
-			// ---- force updates
+			// ---- force updates: group k+1's backward and its gradient/ABE
+			// ring allreduce overlap group k's replicated P drain.  The
+			// hand-off (wait before UpdateSplit) keeps the sequential
+			// measurement semantics: each group's gain stage reads the
+			// drained P, and its backward reads the post-update weights of
+			// the previous group.  Every rank applies the same reduced
+			// buffers, so the replicas stay bit-identical — including
+			// across the rank-failure zero-partial path, whose count gates
+			// are unchanged.
 			var out2 *deepmd.Output
 			fErr := make([]float64, 2) // Σ|ΔF| and component count, for StepInfo
 			if err == nil {
@@ -184,13 +202,17 @@ func (dp *DataParallelFEKF) Step(ds *dataset.Dataset, idx []int) (optimize.StepI
 				dp.ring.Allreduce(rank, fbuf)
 				if fbuf[nParams+1] > 0 {
 					fabe := fbuf[nParams] / (fbuf[nParams+1] * fDiv)
-					m.Params.AddFlat(ks.Update(fbuf[:nParams], fabe, scale))
+					wait()
+					delta, drain := ks.UpdateSplit(fbuf[:nParams], fabe, scale)
+					m.Params.AddFlat(delta)
+					wait = optimize.StartDrain(drain, dp.Pipeline)
 				}
 			}
 
 			// ---- reduce the force-error diagnostic so the distributed
 			// StepInfo matches the single-device contract (batch-global
-			// mean absolute force-component error).
+			// mean absolute force-component error).  It overlaps the last
+			// group's drain, which is joined before the step returns.
 			dp.ring.AllreduceScalars(rank, fErr)
 			forceABE := 0.0
 			if fErr[1] > 0 {
@@ -200,6 +222,7 @@ func (dp *DataParallelFEKF) Step(ds *dataset.Dataset, idx []int) (optimize.StepI
 				EnergyABE: abe,
 				ForceABE:  forceABE,
 			}
+			wait()
 			if out2 != nil {
 				out2.Graph.Release()
 			}

@@ -40,6 +40,10 @@ type Ring struct {
 	wireBytes atomic.Int64
 	// modeled transfer picoseconds accumulated over all operations
 	modeledPs atomic.Int64
+	// ops counts completed collective operations (one per Allreduce,
+	// regardless of rank count); the pipeline accounting tests assert it
+	// is identical with overlap on and off (no double-charged stages).
+	ops atomic.Int64
 	// barrier support for lockstep phases
 	mu      sync.Mutex
 	arrived int
@@ -70,6 +74,11 @@ func (r *Ring) WireBytes() int64 { return r.wireBytes.Load() }
 // ModeledNs returns the modeled cumulative communication time of the
 // busiest path (per-rank serialized steps).
 func (r *Ring) ModeledNs() float64 { return float64(r.modeledPs.Load()) / 1000 }
+
+// Ops returns the number of collective operations executed (each
+// Allreduce counts once, even at ring size 1 where it is communication-
+// free).  Overlapping collectives with compute must not change it.
+func (r *Ring) Ops() int64 { return r.ops.Load() }
 
 // Barrier blocks until every rank has arrived.
 func (r *Ring) Barrier() {
@@ -110,6 +119,9 @@ func (r *Ring) accountStep(chunkBytes int64) {
 // ring scatter-reduce + allgather schedule.  Every rank must call it with
 // an equal-length slice; the call blocks until the collective completes.
 func (r *Ring) Allreduce(rank int, data []float64) {
+	if rank == 0 {
+		r.ops.Add(1)
+	}
 	if r.size == 1 {
 		return
 	}

@@ -191,13 +191,30 @@ func (d *Device) Launch(name string, flops, bytes int64) {
 	if d == nil {
 		return
 	}
+	d.launch(name, Phase(d.phase.Load()), flops, bytes)
+}
+
+// LaunchPhase records one kernel charged to an explicit phase, regardless
+// of the device's current phase.  Stages that may execute concurrently
+// with another phase on the same device — the pipelined Kalman drain runs
+// its P refresh while the next measurement's forward/backward is in
+// flight — use it so overlap can neither misattribute nor double-charge
+// the per-phase totals.
+func (d *Device) LaunchPhase(name string, phase Phase, flops, bytes int64) {
+	if d == nil {
+		return
+	}
+	d.launch(name, phase, flops, bytes)
+}
+
+func (d *Device) launch(name string, phase Phase, flops, bytes int64) {
 	d.kernels.Add(1)
 	d.flops.Add(flops)
 	d.bytes.Add(bytes)
 	ns := d.model.KernelNs(flops, bytes)
 	ps := int64(ns * 1000)
 	d.modeledPs.Add(ps)
-	p := d.phase.Load()
+	p := int32(phase)
 	if p < 0 || p >= int32(numPhases) {
 		p = int32(PhaseOther)
 	}

@@ -30,6 +30,11 @@ type FEKF struct {
 	// √Na for energy, 1 for force — reach the same optima in
 	// proportionally fewer updates at this reproduction's dataset sizes.
 	EnergyDiv, ForceDiv TrustDiv
+	// Pipeline overlaps each measurement's covariance drain with the next
+	// measurement's forward/backward (the two-stage force-group pipeline);
+	// results are bitwise identical to the serial order.  Defaults to
+	// PipelineDefault() (on unless FEKF_PIPELINE disables it).
+	Pipeline bool
 
 	name string
 	ks   *KalmanState
@@ -69,6 +74,7 @@ func NewFEKF() *FEKF {
 		ForceGroups: 4,
 		EnergyDiv:   DivSqrtAtoms,
 		ForceDiv:    DivAtoms,
+		Pipeline:    PipelineDefault(),
 		name:        "FEKF",
 	}
 }
@@ -82,6 +88,7 @@ func NewRLEKF() *FEKF {
 		ForceGroups: 4,
 		EnergyDiv:   DivSqrtAtoms,
 		ForceDiv:    DivAtoms,
+		Pipeline:    PipelineDefault(),
 		name:        "RLEKF",
 	}
 }
@@ -96,6 +103,18 @@ func (f *FEKF) State() *KalmanState { return f.ks }
 // Step implements Optimizer: one energy measurement update followed by
 // ForceGroups force measurement updates, all on batch-reduced gradients
 // and errors (the funnel dataflow of Figure 3(b)).
+//
+// With Pipeline on, each measurement update is split into its gain stage
+// (P·g, a, K, Δw — applied immediately, preserving the sequential
+// measurement semantics) and its covariance drain, which runs on a
+// background goroutine while the next group's backward — or, for the
+// energy update, the force forward pass — executes.  The hand-off is
+// explicit: the drain of group k must complete before group k+1's gain
+// stage reads P, and group k+1's backward starts only after group k's
+// weight increment has been applied, so the weight vector it
+// differentiates against is the post-update weight of group k.  The drain
+// touches only P and the gain scratch (disjoint from weights and graph),
+// so the pipelined step is bitwise identical to the serial one.
 func (f *FEKF) Step(m *deepmd.Model, ds *dataset.Dataset, idx []int) (StepInfo, error) {
 	if f.ks == nil {
 		f.ks = NewKalmanState(f.KCfg, m.Params.LayerSizes(), m.Dev)
@@ -110,11 +129,14 @@ func (f *FEKF) Step(m *deepmd.Model, ds *dataset.Dataset, idx []int) (StepInfo, 
 	fDiv := f.ForceDiv.Value(lab.NaPer)
 
 	// Energy update: reduce signs/errors over the batch, one backward for
-	// the reduced gradient (early reduction), one Kalman update.
+	// the reduced gradient (early reduction), one Kalman update.  Its P
+	// drain overlaps the force forward pass below.
 	out := m.Forward(env, false)
 	seedE, eABE := energyMeasurement(out, lab, eDiv)
 	gE := m.EnergyGrad(out, seedE)
-	m.Params.AddFlat(f.ks.Update(gE, eABE, scale))
+	deltaE, drainE := f.ks.UpdateSplit(gE, eABE, scale)
+	m.Params.AddFlat(deltaE)
+	wait := StartDrain(drainE, f.Pipeline)
 	out.Graph.Release()
 
 	// Force updates: one forward with the post-energy-update weights,
@@ -126,8 +148,12 @@ func (f *FEKF) Step(m *deepmd.Model, ds *dataset.Dataset, idx []int) (StepInfo, 
 	for grp := 0; grp < f.ForceGroups; grp++ {
 		seedF, fABE := forceMeasurement(out2, lab, grp, f.ForceGroups, fDiv)
 		gF := m.ForceGrad(out2, seedF)
-		m.Params.AddFlat(f.ks.Update(gF, fABE, scale))
+		wait()
+		deltaF, drainF := f.ks.UpdateSplit(gF, fABE, scale)
+		m.Params.AddFlat(deltaF)
+		wait = StartDrain(drainF, f.Pipeline)
 	}
+	wait()
 	out2.Graph.Release()
 	return info, nil
 }

@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"math"
+	"sync"
 
 	"fekf/internal/device"
 	"fekf/internal/tensor"
@@ -52,6 +53,12 @@ type KalmanState struct {
 
 	Updates int
 	pg      []*tensor.Dense // scratch P·g per block
+	kv      []*tensor.Dense // scratch gain K per block, held across a deferred drain
+	av      []float64       // per-block gain denominator a, held across a deferred drain
+	// draining is set between UpdateSplit and the completion of its drain;
+	// callers synchronize the two (the pipeline waits on the drain before
+	// the next UpdateSplit), so plain reads/writes suffice.
+	draining bool
 }
 
 // NewKalmanState builds the block structure from per-layer parameter
@@ -67,10 +74,12 @@ func NewKalmanState(cfg KalmanConfig, layerSizes []int, dev *device.Device) *Kal
 		n := b.Size()
 		ks.P = append(ks.P, tensor.Eye(n))
 		ks.pg = append(ks.pg, tensor.New(n, 1))
-		// Both the P block and its P·g scratch vector live in device
-		// memory; accounting the scratch keeps the memcomm experiment's
-		// peak figures honest about optimizer state.
-		dev.Alloc(int64(n)*int64(n)*8 + int64(n)*8)
+		ks.kv = append(ks.kv, tensor.New(n, 1))
+		ks.av = append(ks.av, 0)
+		// The P block, its P·g scratch and its gain scratch all live in
+		// device memory; accounting the scratch keeps the memcomm
+		// experiment's peak figures honest about optimizer state.
+		dev.Alloc(int64(n)*int64(n)*8 + 2*int64(n)*8)
 	}
 	return ks
 }
@@ -84,22 +93,26 @@ func (ks *KalmanState) PBytes() int64 {
 	return total
 }
 
-// ScratchBytes returns the device memory held by the per-block P·g
-// scratch vectors.
+// ScratchBytes returns the device memory held by the per-block P·g and
+// gain scratch vectors.
 func (ks *KalmanState) ScratchBytes() int64 {
 	var total int64
 	for _, v := range ks.pg {
+		total += int64(v.Len()) * 8
+	}
+	for _, v := range ks.kv {
 		total += int64(v.Len()) * 8
 	}
 	return total
 }
 
 // Free releases everything NewKalmanState allocated on the device: the P
-// blocks and the P·g scratch vectors.
+// blocks and the P·g / gain scratch vectors.
 func (ks *KalmanState) Free() {
 	ks.Dev.Free(ks.PBytes() + ks.ScratchBytes())
 	ks.P = nil
 	ks.pg = nil
+	ks.kv = nil
 }
 
 // Update performs one Kalman measurement update (Algorithm 1 lines 8-13)
@@ -107,75 +120,122 @@ func (ks *KalmanState) Free() {
 // parameter vector) and the reduced absolute error abe, it refreshes P and
 // returns the weight increment Δw = scale·abe·K, where scale carries the
 // quasi-learning-rate factor (√bs for FEKF).
-// Blocks are independent — each touches only its own P[i], pg[i] and
-// delta[b.Lo:b.Hi] slices — so the per-block loop runs across the shared
-// tensor worker pool; the result is bitwise identical to serial execution
-// at every worker count (device counters are atomic, so the simulated
-// accounting is also unchanged).
+// Blocks are independent — each touches only its own P[i], pg[i], kv[i]
+// and delta[b.Lo:b.Hi] slices — so the per-block loops run across the
+// shared tensor worker pool; the result is bitwise identical to serial
+// execution at every worker count (device counters are atomic, so the
+// simulated accounting is also unchanged).
 func (ks *KalmanState) Update(g []float64, abe, scale float64) []float64 {
-	prev := ks.Dev.SetPhase(device.PhaseOptimizer)
-	defer ks.Dev.SetPhase(prev)
+	delta, drain := ks.UpdateSplit(g, abe, scale)
+	drain()
+	return delta
+}
 
-	delta := make([]float64, len(g))
+// UpdateSplit is the two-stage form of Update that the force-group
+// pipeline is built on.  It runs the gain stage immediately — per block:
+// P·g, the denominator a = 1/(λ+gᵀPg), the gain K = a·P·g and the weight
+// increment — advances the λ schedule, and returns the increment together
+// with a drain function that performs the deferred covariance refresh
+// P ← (1/λ)(P − (1/a)KKᵀ) using the a, K and λ captured at gain time.
+//
+// Between UpdateSplit and drain the state is "in flight": P still holds
+// the pre-update covariance and the per-block scratch holds the gains.
+// The caller may run anything that does not touch this state concurrently
+// with drain() — applying the increment, the next measurement's
+// forward/backward, or a ring collective — which is exactly the overlap
+// the pipelined FEKF exploits.  Both stages split per block over the
+// worker pool and compute the same per-block values in the same order as
+// the one-shot Update, so the results are bitwise identical.  drain is
+// idempotent; calling UpdateSplit again before the previous drain has
+// completed panics, because the next gain stage must read the refreshed P.
+func (ks *KalmanState) UpdateSplit(g []float64, abe, scale float64) (delta []float64, drain func()) {
+	if ks.draining {
+		panic("optimize: UpdateSplit before the previous drain completed")
+	}
+	lambda := ks.Lambda
+	delta = make([]float64, len(g))
 	tensor.ParallelFor(len(ks.Blocks), func(blo, bhi int) {
-		ks.updateBlocks(delta, g, abe, scale, blo, bhi)
+		ks.gainBlocks(delta, g, abe, scale, lambda, blo, bhi)
 	})
 
 	ks.Lambda = ks.Lambda*ks.Cfg.Nu + 1 - ks.Cfg.Nu
 	ks.Updates++
-	return delta
+	ks.draining = true
+	var once sync.Once
+	return delta, func() {
+		once.Do(func() {
+			tensor.ParallelFor(len(ks.Blocks), func(blo, bhi int) {
+				ks.drainBlocks(lambda, blo, bhi)
+			})
+			ks.draining = false
+		})
+	}
 }
 
-// updateBlocks applies the measurement update to blocks [blo,bhi).
-func (ks *KalmanState) updateBlocks(delta, g []float64, abe, scale float64, blo, bhi int) {
+// gainBlocks runs the gain stage on blocks [blo,bhi): P·g, a, K and the
+// weight increment, leaving K and a in the per-block scratch for the
+// drain.  lambda is the memory factor of this measurement, captured before
+// the schedule advances.  Launches charge PhaseOptimizer explicitly so a
+// drain overlapping another phase cannot misattribute them.
+func (ks *KalmanState) gainBlocks(delta, g []float64, abe, scale, lambda float64, blo, bhi int) {
 	for i := blo; i < bhi; i++ {
 		b := ks.Blocks[i]
 		n := b.Size()
 		gi := tensor.Vector(g[b.Lo:b.Hi])
 		p := ks.P[i]
 		pg := ks.pg[i]
+		k := ks.kv[i]
 
 		// a = 1/(λ + gᵀPg); Opt3 caches Pg for reuse in K, the baseline
 		// recomputes it the way the framework graph does.
 		tensor.SymMatVecInto(pg, p, gi)
-		ks.Dev.Launch("p_matvec", 2*int64(n)*int64(n), int64(n)*int64(n)*8)
-		a := 1 / (ks.Lambda + tensor.Dot(gi, pg))
-		ks.Dev.Launch("a_scalar", 2*int64(n), int64(2*n)*8)
+		ks.Dev.LaunchPhase("p_matvec", device.PhaseOptimizer, 2*int64(n)*int64(n), int64(n)*int64(n)*8)
+		a := 1 / (lambda + tensor.Dot(gi, pg))
+		ks.Dev.LaunchPhase("a_scalar", device.PhaseOptimizer, 2*int64(n), int64(2*n)*8)
 
-		var k *tensor.Dense
 		if ks.Cfg.CachePg {
-			k = tensor.Scale(a, pg)
-			ks.Dev.Launch("k_scale", int64(n), int64(2*n)*8)
+			for j := range k.Data {
+				k.Data[j] = a * pg.Data[j]
+			}
+			ks.Dev.LaunchPhase("k_scale", device.PhaseOptimizer, int64(n), int64(2*n)*8)
 		} else {
-			k = tensor.New(n, 1)
 			tensor.SymMatVecInto(k, p, gi)
-			ks.Dev.Launch("p_matvec", 2*int64(n)*int64(n), int64(n)*int64(n)*8)
+			ks.Dev.LaunchPhase("p_matvec", device.PhaseOptimizer, 2*int64(n)*int64(n), int64(n)*int64(n)*8)
 			for j := range k.Data {
 				k.Data[j] *= a
 			}
-			ks.Dev.Launch("k_scale", int64(n), int64(2*n)*8)
+			ks.Dev.LaunchPhase("k_scale", device.PhaseOptimizer, int64(n), int64(2*n)*8)
 		}
-
-		// P ← (1/λ)(P − (1/a)·KKᵀ), then symmetrize.
-		if ks.Cfg.FusedPUpdate {
-			tensor.PUpdateFused(p, k, a, ks.Lambda)
-			ks.Dev.Launch("p_update_fused", 3*int64(n)*int64(n), 2*int64(n)*int64(n)*8)
-		} else {
-			ks.Dev.Alloc(2 * int64(n) * int64(n) * 8) // KKᵀ and Pᵀ temporaries
-			tensor.PUpdateNaive(p, k, a, ks.Lambda)
-			ks.Dev.Launch("outer_kk", int64(n)*int64(n), int64(n)*int64(n)*8)
-			ks.Dev.Launch("p_sub_scale", 2*int64(n)*int64(n), 3*int64(n)*int64(n)*8)
-			ks.Dev.Launch("p_transpose", 0, 2*int64(n)*int64(n)*8)
-			ks.Dev.Launch("p_symmetrize", int64(n)*int64(n), 3*int64(n)*int64(n)*8)
-			ks.Dev.Free(2 * int64(n) * int64(n) * 8)
-		}
+		ks.av[i] = a
 
 		s := scale * abe
 		dst := delta[b.Lo:b.Hi]
-		for j, kv := range k.Data {
-			dst[j] = s * kv
+		for j, kj := range k.Data {
+			dst[j] = s * kj
 		}
-		ks.Dev.Launch("w_increment", int64(n), int64(2*n)*8)
+		ks.Dev.LaunchPhase("w_increment", device.PhaseOptimizer, int64(n), int64(2*n)*8)
+	}
+}
+
+// drainBlocks runs the deferred covariance refresh on blocks [blo,bhi):
+// P ← (1/λ)(P − (1/a)·KKᵀ), then symmetrize, with the a, K, λ captured by
+// the gain stage.
+func (ks *KalmanState) drainBlocks(lambda float64, blo, bhi int) {
+	for i := blo; i < bhi; i++ {
+		n := ks.Blocks[i].Size()
+		p, k, a := ks.P[i], ks.kv[i], ks.av[i]
+		if ks.Cfg.FusedPUpdate {
+			tensor.PUpdateFused(p, k, a, lambda)
+			ks.Dev.LaunchPhase("p_update_fused", device.PhaseOptimizer, 3*int64(n)*int64(n), 2*int64(n)*int64(n)*8)
+		} else {
+			ks.Dev.Alloc(2 * int64(n) * int64(n) * 8) // KKᵀ and Pᵀ temporaries
+			tensor.PUpdateNaive(p, k, a, lambda)
+			ks.Dev.LaunchPhase("outer_kk", device.PhaseOptimizer, int64(n)*int64(n), int64(n)*int64(n)*8)
+			ks.Dev.LaunchPhase("p_sub_scale", device.PhaseOptimizer, 2*int64(n)*int64(n), 3*int64(n)*int64(n)*8)
+			ks.Dev.LaunchPhase("p_transpose", device.PhaseOptimizer, 0, 2*int64(n)*int64(n)*8)
+			ks.Dev.LaunchPhase("p_symmetrize", device.PhaseOptimizer, int64(n)*int64(n), 3*int64(n)*int64(n)*8)
+			ks.Dev.Free(2 * int64(n) * int64(n) * 8)
+		}
 	}
 }
 

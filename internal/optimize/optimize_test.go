@@ -373,6 +373,69 @@ func TestLayerwiseOptimizersKeepWeightsFinite(t *testing.T) {
 	}
 }
 
+// TestPipelinedStepEKFInvariants checks the EKF state invariants that the
+// pipeline must preserve after every step, across the optimization and
+// scheduling switches: every P block stays symmetric and positive definite
+// (its Cholesky factorization succeeds — the covariance update never
+// overshoots the subtracted rank-1 term), λ follows the memory schedule
+// λ·ν + (1−ν) exactly, and no weight ever goes NaN or Inf.
+func TestPipelinedStepEKFInvariants(t *testing.T) {
+	cases := []struct {
+		name     string
+		opt3     bool
+		pipeline bool
+		groups   int
+	}{
+		{"serial-naive-g4", false, false, 4},
+		{"serial-opt3-g4", true, false, 4},
+		{"pipelined-naive-g4", false, true, 4},
+		{"pipelined-opt3-g4", true, true, 4},
+		{"pipelined-opt3-g1", true, true, 1},
+		{"pipelined-opt3-g2", true, true, 2},
+	}
+	ds, base := pipelineModelSetup(t)
+	idx := []int{0, 1, 2, 3}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := base.CloneFor(device.New("inv", device.A100()))
+			f := NewFEKF()
+			f.Pipeline = tc.pipeline
+			f.ForceGroups = tc.groups
+			f.KCfg.BlockSize = 128
+			if tc.opt3 {
+				f.KCfg = f.KCfg.WithOpt3()
+			}
+			for step := 0; step < 3; step++ {
+				if _, err := f.Step(m, ds, idx); err != nil {
+					t.Fatal(err)
+				}
+				ks := f.State()
+				for b, p := range ks.P {
+					if !tensor.IsSymmetric(p, 0) {
+						t.Fatalf("step %d: P[%d] not bitwise symmetric", step, b)
+					}
+					if !tensor.CholeskyPD(p) {
+						t.Fatalf("step %d: P[%d] lost positive definiteness", step, b)
+					}
+				}
+				want := ks.Cfg.Lambda0
+				for u := 0; u < ks.Updates; u++ {
+					want = want*ks.Cfg.Nu + 1 - ks.Cfg.Nu
+				}
+				if ks.Lambda != want {
+					t.Fatalf("step %d: λ = %v, closed form wants %v after %d updates",
+						step, ks.Lambda, want, ks.Updates)
+				}
+				for i, v := range m.Params.FlattenValues() {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("step %d: weight %d is %v", step, i, v)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestOptimizerNames(t *testing.T) {
 	names := map[Optimizer]string{
 		NewAdam():     "Adam",

@@ -2,6 +2,8 @@ package optimize
 
 import (
 	"math"
+	"os"
+	"strings"
 
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
@@ -15,6 +17,44 @@ import (
 type Optimizer interface {
 	Name() string
 	Step(m *deepmd.Model, ds *dataset.Dataset, idx []int) (StepInfo, error)
+}
+
+// PipelineDefault reports the default for the two-stage force-group
+// pipeline (FEKF.Pipeline and the cluster trainer's Pipeline field):
+// enabled unless the FEKF_PIPELINE environment variable is set to one of
+// 0/false/off/no.  The pipeline is bitwise identical to the serial
+// measurement order (see DESIGN.md), so the switch exists for ablation
+// and debugging rather than correctness.
+func PipelineDefault() bool {
+	switch strings.ToLower(os.Getenv("FEKF_PIPELINE")) {
+	case "0", "false", "off", "no":
+		return false
+	}
+	return true
+}
+
+// StartDrain schedules the deferred covariance refresh returned by
+// KalmanState.UpdateSplit.  With pipelined=false it drains inline,
+// recovering the strictly serial measurement order of Algorithm 1; with
+// pipelined=true the drain runs on a background goroutine so the caller
+// can overlap the next measurement's forward/backward — or, across ranks,
+// its ring allreduce — with the P refresh.  The returned wait blocks
+// until the drain has completed and must be called before the next
+// UpdateSplit on the same state (the hand-off that keeps the sequential
+// measurement semantics: the next gain stage reads the refreshed P, and
+// the weight vector it differentiates against is the post-update weight
+// of the previous group).
+func StartDrain(drain func(), pipelined bool) (wait func()) {
+	if !pipelined {
+		drain()
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		drain()
+	}()
+	return func() { <-done }
 }
 
 // StepInfo reports what a step saw before updating the weights.

@@ -1,0 +1,122 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The fuzz targets below pin the worker pool's bitwise determinism
+// contract on the three kernels the pipelined Kalman update leans on:
+// whatever shapes and values the fuzzer invents, running the kernel on one
+// worker and on several must produce identical bits.  They run in `make
+// ci` with a short -fuzztime, and any corpus the fuzzer saves becomes a
+// permanent regression seed.
+
+// clampDim maps an arbitrary fuzzed int into [1, limit].
+func clampDim(d, limit int) int {
+	d %= limit
+	if d < 0 {
+		d += limit
+	}
+	return d + 1
+}
+
+// bitsEqual compares two slices at full precision (NaN-safe, unlike ==).
+func bitsEqual(a, b []float64) (int, bool) {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+func FuzzGEMMParallelMatchesSerial(f *testing.F) {
+	f.Add(int64(1), 3, 4, 5)
+	f.Add(int64(7), 65, 1, 64)  // spans the cache-block edge
+	f.Add(int64(42), 1, 80, 1)  // degenerate vector shapes
+	f.Add(int64(9), 17, 33, 29) // odd everything
+	f.Fuzz(func(t *testing.T, seed int64, rows, inner, cols int) {
+		rows, inner, cols = clampDim(rows, 80), clampDim(inner, 80), clampDim(cols, 80)
+		rng := rand.New(rand.NewSource(seed))
+		a := RandNormal(rows, inner, 1, rng)
+		b := RandNormal(inner, cols, 1, rng)
+
+		prev := SetWorkers(1)
+		serial := New(rows, cols)
+		gemmInto(serial, a, b)
+		SetWorkers(5)
+		parallel := New(rows, cols)
+		gemmInto(parallel, a, b)
+		SetWorkers(prev)
+
+		if i, ok := bitsEqual(serial.Data, parallel.Data); !ok {
+			t.Fatalf("gemmInto %dx%dx%d: elem %d = %x (parallel) vs %x (serial)",
+				rows, inner, cols, i,
+				math.Float64bits(parallel.Data[i]), math.Float64bits(serial.Data[i]))
+		}
+	})
+}
+
+func FuzzPUpdateFusedParallelMatchesSerial(f *testing.F) {
+	f.Add(int64(1), 8, 0.5, 0.98)
+	f.Add(int64(3), 96, 2.0, 0.9)  // the striped kernel's larger shapes
+	f.Add(int64(5), 1, 0.001, 0.5) // single-element P
+	f.Add(int64(11), 65, 10.0, 0.99)
+	f.Fuzz(func(t *testing.T, seed int64, n int, a, lambda float64) {
+		n = clampDim(n, 96)
+		// keep the scalars in the regime the filter produces: a > 0 from the
+		// gain denominator, λ ∈ (0, 1] from the memory schedule.
+		if math.IsNaN(a) || math.IsInf(a, 0) || a <= 0 {
+			a = 0.75
+		}
+		if math.IsNaN(lambda) || lambda <= 0 || lambda > 1 {
+			lambda = 0.98
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := RandNormal(n, n, 1, rng)
+		SymmetrizeInPlace(p)
+		k := RandNormal(n, 1, 1, rng)
+
+		pSerial := p.Clone()
+		pParallel := p.Clone()
+		prev := SetWorkers(1)
+		PUpdateFused(pSerial, k, a, lambda)
+		SetWorkers(6)
+		PUpdateFused(pParallel, k, a, lambda)
+		SetWorkers(prev)
+
+		if i, ok := bitsEqual(pSerial.Data, pParallel.Data); !ok {
+			t.Fatalf("PUpdateFused n=%d a=%v λ=%v: elem %d diverged", n, a, lambda, i)
+		}
+		if !IsSymmetric(pParallel, 0) {
+			t.Fatalf("PUpdateFused n=%d: result not bitwise symmetric", n)
+		}
+	})
+}
+
+func FuzzSymMatVecParallelMatchesSerial(f *testing.F) {
+	f.Add(int64(1), 8)
+	f.Add(int64(2), 96)
+	f.Add(int64(13), 1)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		n = clampDim(n, 96)
+		rng := rand.New(rand.NewSource(seed))
+		p := RandNormal(n, n, 1, rng)
+		SymmetrizeInPlace(p)
+		x := RandNormal(n, 1, 1, rng)
+
+		ySerial := New(n, 1)
+		yParallel := New(n, 1)
+		prev := SetWorkers(1)
+		SymMatVecInto(ySerial, p, x)
+		SetWorkers(5)
+		SymMatVecInto(yParallel, p, x)
+		SetWorkers(prev)
+
+		if i, ok := bitsEqual(ySerial.Data, yParallel.Data); !ok {
+			t.Fatalf("SymMatVecInto n=%d: elem %d diverged", n, i)
+		}
+	})
+}

@@ -136,6 +136,37 @@ func IsSymmetric(p *Dense, tol float64) bool {
 	return true
 }
 
+// CholeskyPD reports whether the symmetric matrix p is positive definite
+// by attempting an in-place-free Cholesky factorization p = L·Lᵀ; it
+// succeeds iff every pivot stays strictly positive.  The EKF property
+// tests use it: the covariance update P ← (1/λ)(P − (1/a)KKᵀ) must keep
+// every P block positive definite, since a is chosen so the subtracted
+// rank-1 term never overshoots.
+func CholeskyPD(p *Dense) bool {
+	n := p.Rows
+	if p.Cols != n || n == 0 {
+		return false
+	}
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := p.Data[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return false
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	return true
+}
+
 // OuterViaGEMM computes K·Kᵀ the way a framework GEMM does (the paper's
 // Supplementary I): K is padded to a tile-width matrix of kTile columns
 // and multiplied as a general matrix product, executing kTile× the

@@ -1,0 +1,166 @@
+package train
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/optimize"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite results/golden/fekf_trace.json from the current implementation")
+
+const goldenPath = "../../results/golden/fekf_trace.json"
+
+// goldenTrace is the serialized regression fixture: the per-step Kalman
+// measurement errors and per-epoch energy RMSE of a fixed FEKF training
+// run.  Any change to the numerics of the forward pass, the gradients or
+// the filter shows up here; the replay runs with the pipeline both on and
+// off, so it also pins the pipeline's bitwise-equivalence claim to a value
+// on disk.
+type goldenTrace struct {
+	System         string    `json:"system"`
+	Seed           int64     `json:"seed"`
+	BatchSize      int       `json:"batch_size"`
+	Epochs         int       `json:"epochs"`
+	EnergyABE      []float64 `json:"energy_abe"`
+	ForceABE       []float64 `json:"force_abe"`
+	EpochEnergyRMS []float64 `json:"epoch_energy_rmse"`
+}
+
+// recordingStepper captures every StepInfo that crosses the Stepper
+// boundary during a run.
+type recordingStepper struct {
+	OptStepper
+	infos []optimize.StepInfo
+}
+
+func (r *recordingStepper) Step(ds *dataset.Dataset, idx []int) (optimize.StepInfo, error) {
+	info, err := r.OptStepper.Step(ds, idx)
+	if err == nil {
+		r.infos = append(r.infos, info)
+	}
+	return info, err
+}
+
+// goldenRun executes the fixed training recipe and returns its trace.
+func goldenRun(t *testing.T, pipeline bool) goldenTrace {
+	t.Helper()
+	ds, err := dataset.Generate("Cu", dataset.GenOptions{
+		Snapshots: 8, SampleEvery: 4, EquilSteps: 25, Tiny: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	cfg := deepmd.TinyConfig(sys)
+	cfg.Seed = 7
+	m, err := deepmd.NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Level = deepmd.OptFused
+	m.Dev = device.New("golden", device.A100())
+	if err := m.InitFromDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+
+	f := optimize.NewFEKF()
+	f.KCfg = f.KCfg.WithOpt3()
+	f.Pipeline = pipeline
+	st := &recordingStepper{OptStepper: OptStepper{M: m, Opt: f}}
+	res, err := Run(m, st, ds, Config{BatchSize: 4, MaxEpochs: 2, Seed: 11, EvalSubset: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := goldenTrace{System: "Cu", Seed: 7, BatchSize: 4, Epochs: 2}
+	for _, info := range st.infos {
+		tr.EnergyABE = append(tr.EnergyABE, info.EnergyABE)
+		tr.ForceABE = append(tr.ForceABE, info.ForceABE)
+	}
+	for _, h := range res.History {
+		tr.EpochEnergyRMS = append(tr.EpochEnergyRMS, h.Metrics.EnergyPerAtomRMSE)
+	}
+	return tr
+}
+
+// relClose compares to the fixture with a relative tolerance that absorbs
+// FMA/arch differences but nothing algorithmic.
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}
+
+func compareTrace(t *testing.T, label string, got, want goldenTrace) {
+	t.Helper()
+	if len(got.EnergyABE) != len(want.EnergyABE) || len(got.ForceABE) != len(want.ForceABE) ||
+		len(got.EpochEnergyRMS) != len(want.EpochEnergyRMS) {
+		t.Fatalf("%s: trace shape changed: %d/%d/%d steps vs golden %d/%d/%d",
+			label, len(got.EnergyABE), len(got.ForceABE), len(got.EpochEnergyRMS),
+			len(want.EnergyABE), len(want.ForceABE), len(want.EpochEnergyRMS))
+	}
+	for i := range want.EnergyABE {
+		if !relClose(got.EnergyABE[i], want.EnergyABE[i]) {
+			t.Fatalf("%s: energy ABE step %d = %.17g, golden %.17g", label, i, got.EnergyABE[i], want.EnergyABE[i])
+		}
+	}
+	for i := range want.ForceABE {
+		if !relClose(got.ForceABE[i], want.ForceABE[i]) {
+			t.Fatalf("%s: force ABE step %d = %.17g, golden %.17g", label, i, got.ForceABE[i], want.ForceABE[i])
+		}
+	}
+	for i := range want.EpochEnergyRMS {
+		if !relClose(got.EpochEnergyRMS[i], want.EpochEnergyRMS[i]) {
+			t.Fatalf("%s: epoch %d energy RMSE = %.17g, golden %.17g",
+				label, i+1, got.EpochEnergyRMS[i], want.EpochEnergyRMS[i])
+		}
+	}
+}
+
+// TestGoldenTraceReplay replays the pinned FEKF training recipe against
+// the checked-in fixture, with the force-group pipeline both off and on.
+// Regenerate the fixture with:
+//
+//	go test ./internal/train -run TestGoldenTraceReplay -update-golden
+func TestGoldenTraceReplay(t *testing.T) {
+	if *updateGolden {
+		tr := goldenRun(t, false)
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace rewritten: %d steps", len(tr.EnergyABE))
+		return
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden fixture missing (regenerate with -update-golden): %v", err)
+	}
+	var want goldenTrace
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want.EnergyABE) == 0 {
+		t.Fatal("golden fixture holds no steps")
+	}
+	for _, pipeline := range []bool{false, true} {
+		label := "serial"
+		if pipeline {
+			label = "pipelined"
+		}
+		compareTrace(t, label, goldenRun(t, pipeline), want)
+	}
+}
