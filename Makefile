@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-pipeline fuzz bench fmt
+.PHONY: ci vet test race race-pipeline race-online fuzz bench fmt serve-smoke
 
-ci: vet test race race-pipeline fuzz
+ci: vet test race race-pipeline race-online fuzz serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,20 @@ race:
 race-pipeline:
 	FEKF_PIPELINE=1 $(GO) test -race -timeout 45m -run 'Pipelin|Golden|UpdateSplit' \
 		./internal/optimize ./internal/cluster ./internal/train
+
+# The online-learning subsystem is concurrency all the way down: HTTP
+# producers against the ingest queue, the trainer loop against snapshot
+# readers, the prediction micro-batcher against shutdown.  Soak it under
+# the race detector explicitly (the broad `race` target covers it too;
+# this runs the streaming packages alone for a fast signal).
+race-online:
+	$(GO) test -race -timeout 15m -count=1 ./internal/online ./internal/serve
+
+# End-to-end smoke of cmd/serve: boot a trainer+server on a random port,
+# stream MD frames at it, require training steps and a checkpoint, shut
+# down gracefully and prove the checkpoint resumes λ and P bitwise.
+serve-smoke:
+	$(GO) run ./cmd/serve -smoke
 
 # Short fuzz pass over the kernels whose parallel==serial bitwise contract
 # the pipeline relies on (go test runs one fuzz target per invocation).

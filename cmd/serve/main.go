@@ -1,0 +1,374 @@
+// Command serve runs the online-learning service: it boots a DeePMD model
+// on a bootstrap dataset (or resumes from a checkpoint), starts the
+// streaming FEKF trainer and exposes the HTTP API of internal/serve.  With
+// -mdclient it also drives a synthetic labelled-frame producer from a
+// classical-potential Langevin simulation, so the whole loop — simulate →
+// ingest → gate → train → snapshot → serve — runs from one command.
+//
+// Usage:
+//
+//	serve -addr 127.0.0.1:8234 -system Cu -mdclient
+//	serve -checkpoint ckpt.gob -resume            # continue a previous run
+//	serve -smoke                                  # self-test and exit
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/md"
+	"fekf/internal/online"
+	"fekf/internal/optimize"
+	"fekf/internal/serve"
+	"fekf/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8234", "listen address (port 0 = random)")
+		system     = flag.String("system", "Cu", "Table-3 system for bootstrap and the MD client")
+		bootstrap  = flag.Int("bootstrap", 16, "bootstrap frames generated for normalization")
+		bs         = flag.Int("bs", 8, "online minibatch size")
+		queueSize  = flag.Int("queue", 256, "ingest queue capacity")
+		queuePol   = flag.String("queue-policy", "block", "block | drop-new | drop-old")
+		window     = flag.Int("window", 256, "replay FIFO window size")
+		reservoir  = flag.Int("reservoir", 256, "replay reservoir size")
+		snapEvery  = flag.Int("snapshot-every", 4, "steps between published model snapshots")
+		ckptPath   = flag.String("checkpoint", "", "combined checkpoint path (enables periodic checkpoints)")
+		ckptEvery  = flag.Int("checkpoint-every", 16, "steps between periodic checkpoints")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint if it exists")
+		gateOn     = flag.Bool("gate", true, "ALKPU-style uncertainty gating of ingested frames")
+		gateThresh = flag.Float64("gate-threshold", 0.5, "gate threshold (fraction of the EMA score)")
+		trainIdle  = flag.Bool("train-idle", false, "keep training on the replay buffer while no frames arrive")
+		workers    = flag.Int("workers", 0, "host worker pool size (0 = GOMAXPROCS / FEKF_WORKERS)")
+		mdClient   = flag.Bool("mdclient", false, "run the synthetic MD frame producer against this server")
+		mdFrames   = flag.Int("md-frames", 0, "frames the MD client sends (0 = until shutdown)")
+		mdPeriod   = flag.Duration("md-period", 100*time.Millisecond, "delay between MD client frames")
+		seed       = flag.Int64("seed", 1, "random seed")
+		smoke      = flag.Bool("smoke", false, "self-test: random port, MD frames, predicts, graceful shutdown, kill→restart resume")
+	)
+	flag.Parse()
+	tensor.SetWorkers(*workers)
+
+	if *smoke {
+		if err := runSmoke(*system, *seed); err != nil {
+			log.Fatalf("serve: SMOKE FAILED: %v", err)
+		}
+		fmt.Println("SMOKE OK")
+		return
+	}
+
+	policy, err := online.ParsePolicy(*queuePol)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	tcfg := online.TrainerConfig{
+		BatchSize:       *bs,
+		QueueSize:       *queueSize,
+		QueuePolicy:     policy,
+		WindowSize:      *window,
+		ReservoirSize:   *reservoir,
+		SnapshotEvery:   *snapEvery,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Gate:            gateConfig(*gateOn, *gateThresh),
+		TrainIdle:       *trainIdle,
+		Seed:            *seed,
+	}
+
+	tr, err := buildTrainer(*system, *bootstrap, *seed, *resume, *ckptPath, tcfg)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	tr.Start()
+
+	srv := serve.New(tr, serve.Config{Addr: *addr})
+	if err := srv.Start(); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("serving %s on http://%s  (POST /v1/frames, POST /v1/predict, GET /healthz, GET /v1/stats)",
+		*system, srv.Addr())
+
+	stopClient := make(chan struct{})
+	clientDone := make(chan struct{})
+	if *mdClient {
+		go func() {
+			defer close(clientDone)
+			if err := runMDClient(srv.Addr(), *system, *seed, *mdFrames, *mdPeriod, stopClient); err != nil {
+				log.Printf("serve: md client: %v", err)
+			}
+		}()
+	} else {
+		close(clientDone)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down...")
+	close(stopClient)
+	<-clientDone
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("serve: shutdown: %v", err)
+	}
+	st := tr.Stats()
+	log.Printf("drained: %d steps, λ=%.6f, %d frames accepted, %d gated out, %d checkpoints",
+		st.Steps, st.Lambda, st.FramesAccepted, st.FramesGatedOut, st.Checkpoints)
+}
+
+func gateConfig(on bool, threshold float64) online.GateConfig {
+	g := online.DefaultGateConfig()
+	g.Enabled = on
+	g.Threshold = threshold
+	return g
+}
+
+// buildTrainer resumes from the checkpoint when asked (and present), else
+// bootstraps a fresh model from a small generated dataset.
+func buildTrainer(system string, bootstrap int, seed int64, resume bool, ckptPath string, tcfg online.TrainerConfig) (*online.Trainer, error) {
+	dev := device.New("gpu0", device.A100())
+	if resume && ckptPath != "" {
+		if _, err := os.Stat(ckptPath); err == nil {
+			ck, err := online.LoadCheckpoint(ckptPath)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := online.ResumeTrainer(ck, dev, tcfg)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("resumed from %s: step %d, λ=%.6f", ckptPath, tr.Stats().Steps, tr.Stats().Lambda)
+			return tr, nil
+		}
+		log.Printf("no checkpoint at %s, bootstrapping fresh", ckptPath)
+	}
+	if bootstrap < 4 {
+		bootstrap = 4
+	}
+	ds, err := dataset.Generate(system, dataset.GenOptions{
+		Snapshots: bootstrap, SampleEvery: 5, EquilSteps: 40, Tiny: true, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	cfg := deepmd.TinyConfig(sys)
+	cfg.Seed = seed
+	m, err := deepmd.NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.InitFromDataset(ds); err != nil {
+		return nil, err
+	}
+	m.Level = deepmd.OptAll
+	m.Dev = dev
+	opt := optimize.NewFEKF()
+	opt.KCfg = opt.KCfg.WithOpt3()
+	tr, err := online.NewTrainer(m, opt, ds, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	// seed the stream with the bootstrap frames so training can begin
+	// before the first external frame arrives
+	for _, s := range ds.Snapshots {
+		if _, err := tr.Ingest(s); err != nil {
+			return nil, err
+		}
+	}
+	log.Printf("bootstrapped %s: %d frames, %d-atom cells, %d parameters",
+		system, ds.Len(), ds.Snapshots[0].NumAtoms(), m.NumParams())
+	return tr, nil
+}
+
+// runMDClient drives a Langevin simulation with the classical label
+// potential and streams labelled frames to the server over HTTP, issuing a
+// prediction for every frame it sends (the simulate → ingest → train →
+// serve loop).
+func runMDClient(addr, system string, seed int64, maxFrames int, period time.Duration, stop <-chan struct{}) error {
+	spec, err := md.GetSystem(system)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	sys, pot := spec.TinyBuild()
+	T := spec.Temperatures[0]
+	sys.InitVelocities(T, rng)
+	lg := md.NewLangevin(pot, spec.TimeStep, T, rng)
+	lg.Run(sys, 40, 0, nil)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := "http://" + addr
+	for n := 0; maxFrames == 0 || n < maxFrames; n++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		lg.Run(sys, 5, 0, nil)
+		e, f := md.ComputeAll(pot, sys)
+		frame := serve.FramePayload{
+			Pos:         append([]float64(nil), sys.Pos...),
+			Box:         sys.Box,
+			Types:       append([]int(nil), sys.Types...),
+			Energy:      e,
+			Forces:      f,
+			Temperature: T,
+		}
+		var fresp serve.FramesResponse
+		if err := postJSON(client, base+"/v1/frames", serve.FramesRequest{Frames: []serve.FramePayload{frame}}, &fresp); err != nil {
+			return fmt.Errorf("frame %d: %w", n, err)
+		}
+		var presp serve.PredictResponse
+		err := postJSON(client, base+"/v1/predict", serve.PredictRequest{Pos: frame.Pos, Box: frame.Box, Types: frame.Types}, &presp)
+		if err != nil {
+			return fmt.Errorf("predict %d: %w", n, err)
+		}
+		if n%16 == 0 {
+			log.Printf("md client: frame %d  E(label)=%.3f  E(model)=%.3f  snapshot step %d",
+				n, e, presp.Energy, presp.SnapshotStep)
+		}
+		if period > 0 {
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(period):
+			}
+		}
+	}
+	return nil
+}
+
+func postJSON(client *http.Client, url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e serve.ErrorResponse
+		json.NewDecoder(r.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", url, r.Status, e.Error)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// runSmoke is the CI self-test: boot on a random port, stream MD frames,
+// check every endpoint, shut down gracefully, then resume from the final
+// checkpoint and verify the λ schedule position and step counter survived.
+func runSmoke(system string, seed int64) error {
+	dir, err := os.MkdirTemp("", "fekf-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ckpt := dir + "/online.ckpt"
+
+	tcfg := online.TrainerConfig{
+		BatchSize: 4, QueueSize: 64, WindowSize: 64, ReservoirSize: 64,
+		SnapshotEvery: 2, CheckpointPath: ckpt, CheckpointEvery: 4,
+		Gate: gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
+	}
+	tr, err := buildTrainer(system, 8, seed, false, "", tcfg)
+	if err != nil {
+		return err
+	}
+	tr.Start()
+	srv := serve.New(tr, serve.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	base := "http://" + srv.Addr()
+	client := &http.Client{Timeout: 30 * time.Second}
+	log.Printf("smoke: serving on %s", base)
+
+	// healthz answers immediately
+	hr, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", hr.Status)
+	}
+
+	// stream a dozen labelled MD frames with interleaved predictions
+	if err := runMDClient(srv.Addr(), system, seed, 12, 0, make(chan struct{})); err != nil {
+		return err
+	}
+
+	// wait for the trainer to take steps and write a periodic checkpoint
+	deadline := time.Now().Add(90 * time.Second)
+	var st serve.StatsResponse
+	for {
+		if err := getJSON(client, base+"/v1/stats", &st); err != nil {
+			return err
+		}
+		if st.Steps >= 4 && st.Checkpoints >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("trainer made no progress: %+v", st.Stats)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	log.Printf("smoke: %d steps, λ=%.6f, %d accepted, %d gated out, %d predict batches",
+		st.Steps, st.Lambda, st.FramesAccepted, st.FramesGatedOut, st.PredictBatches)
+
+	// graceful shutdown drains and writes the final checkpoint
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	stopped := tr.Stats()
+
+	// kill→restart: resume and verify the schedule position survived
+	ck, err := online.LoadCheckpoint(ckpt)
+	if err != nil {
+		return err
+	}
+	tr2, err := online.ResumeTrainer(ck, device.New("gpu1", device.A100()), tcfg)
+	if err != nil {
+		return err
+	}
+	resumed := tr2.Stats()
+	if resumed.Steps != stopped.Steps || resumed.Lambda != stopped.Lambda {
+		return fmt.Errorf("resume mismatch: steps %d→%d, λ %v→%v",
+			stopped.Steps, resumed.Steps, stopped.Lambda, resumed.Lambda)
+	}
+	log.Printf("smoke: resumed at step %d with identical λ=%.6f", resumed.Steps, resumed.Lambda)
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	r, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, r.Status)
+	}
+	return json.NewDecoder(r.Body).Decode(v)
+}

@@ -3,7 +3,9 @@ package deepmd
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"fekf/internal/tensor"
 )
@@ -19,8 +21,10 @@ type checkpoint struct {
 	Values [][]float64
 }
 
-// Save writes the model weights and configuration to path (gob encoding).
-func (m *Model) Save(path string) error {
+// EncodeTo writes the model weights and configuration to w (gob encoding);
+// the stream is what Save persists and what the online trainer embeds in
+// its combined checkpoints.
+func (m *Model) EncodeTo(w io.Writer) error {
 	ck := checkpoint{
 		Cfg:   m.Cfg,
 		SNorm: append([]float64(nil), m.SNorm...),
@@ -30,28 +34,25 @@ func (m *Model) Save(path string) error {
 		ck.Shapes = append(ck.Shapes, [2]int{t.Rows, t.Cols})
 		ck.Values = append(ck.Values, append([]float64(nil), t.Data...))
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(&ck); err != nil {
-		return fmt.Errorf("deepmd: encode checkpoint %s: %w", path, err)
+	if err := gob.NewEncoder(w).Encode(&ck); err != nil {
+		return fmt.Errorf("deepmd: encode checkpoint: %w", err)
 	}
 	return nil
 }
 
-// Load reads a model checkpoint written by Save and reconstructs the
-// model (on the default device; set Dev afterwards for placement).
-func Load(path string) (*Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
+// DecodeModel reads a model checkpoint stream written by EncodeTo and
+// reconstructs the model (on the default device; set Dev afterwards for
+// placement).  The stream is validated structurally — tensor count, shape
+// list length, per-tensor shapes and normalization length must all match
+// the model the stored configuration builds — so a truncated or corrupted
+// checkpoint fails loudly instead of yielding a silently mangled model.
+func DecodeModel(r io.Reader) (*Model, error) {
 	var ck checkpoint
-	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
-		return nil, fmt.Errorf("deepmd: decode checkpoint %s: %w", path, err)
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("deepmd: decode checkpoint: %w", err)
+	}
+	if len(ck.Shapes) != len(ck.Values) {
+		return nil, fmt.Errorf("deepmd: checkpoint has %d shapes for %d value tensors", len(ck.Shapes), len(ck.Values))
 	}
 	m, err := NewModel(ck.Cfg)
 	if err != nil {
@@ -61,14 +62,66 @@ func Load(path string) (*Model, error) {
 	if len(ts) != len(ck.Values) {
 		return nil, fmt.Errorf("deepmd: checkpoint has %d tensors, model %d", len(ck.Values), len(ts))
 	}
+	if len(ck.SNorm) != len(m.SNorm) {
+		return nil, fmt.Errorf("deepmd: checkpoint has %d normalization entries, model %d", len(ck.SNorm), len(m.SNorm))
+	}
 	for i, t := range ts {
 		if t.Rows != ck.Shapes[i][0] || t.Cols != ck.Shapes[i][1] {
 			return nil, fmt.Errorf("deepmd: checkpoint tensor %d is %dx%d, model wants %dx%d",
 				i, ck.Shapes[i][0], ck.Shapes[i][1], t.Rows, t.Cols)
 		}
+		if len(ck.Values[i]) != t.Len() {
+			return nil, fmt.Errorf("deepmd: checkpoint tensor %d holds %d values, want %d",
+				i, len(ck.Values[i]), t.Len())
+		}
 		t.CopyFrom(tensor.FromSlice(t.Rows, t.Cols, ck.Values[i]))
 	}
 	copy(m.SNorm, ck.SNorm)
 	m.Level = ck.Level
+	return m, nil
+}
+
+// Save writes the model checkpoint to path crash-safely: the stream goes
+// to a temporary file in the target directory, is fsynced, and is then
+// atomically renamed over path, so a crash mid-write can never leave a
+// truncated checkpoint under the final name.
+func (m *Model) Save(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := m.EncodeTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("deepmd: write checkpoint %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("deepmd: sync checkpoint %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("deepmd: close checkpoint %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Load reads a model checkpoint written by Save.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := DecodeModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("deepmd: %s: %w", path, err)
+	}
 	return m, nil
 }

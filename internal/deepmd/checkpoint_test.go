@@ -1,0 +1,132 @@
+package deepmd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Save must be crash-safe: after a successful write the directory holds
+// exactly the checkpoint (no stray temp files), and the stored weights are
+// bitwise identical to the in-memory model.
+func TestSaveAtomicAndBitwise(t *testing.T) {
+	ds := testData(t, "Cu", 2)
+	m := testModel(t, ds, OptAll)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	for i := 0; i < 2; i++ { // second Save overwrites atomically
+		if err := m.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.ckpt" {
+		t.Fatalf("directory not clean after Save: %v", entries)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := m.Params.FlattenValues()
+	w2 := got.Params.FlattenValues()
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("weight %d not bitwise preserved: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+	for i := range m.SNorm {
+		if got.SNorm[i] != m.SNorm[i] {
+			t.Fatalf("SNorm %d not preserved", i)
+		}
+	}
+}
+
+// A truncated stream — the crash Save guards against, simulated directly —
+// must fail to decode rather than yield a mangled model.
+func TestDecodeTruncatedStream(t *testing.T) {
+	ds := testData(t, "Cu", 2)
+	m := testModel(t, ds, OptAll)
+	var buf bytes.Buffer
+	if err := m.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, buf.Len() / 2, buf.Len() - 1} {
+		if _, err := DecodeModel(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes decoded without error", cut)
+		}
+	}
+}
+
+// Structural validation: shape-list, tensor-count and SNorm-length
+// mismatches in the stored stream must all be rejected with a clear error.
+func TestDecodeValidatesStructure(t *testing.T) {
+	ds := testData(t, "Cu", 2)
+	m := testModel(t, ds, OptAll)
+
+	encode := func(mutate func(*checkpoint)) []byte {
+		var buf bytes.Buffer
+		if err := m.EncodeTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var ck checkpoint
+		if err := gob.NewDecoder(&buf).Decode(&ck); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&ck)
+		var out bytes.Buffer
+		if err := gob.NewEncoder(&out).Encode(&ck); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*checkpoint)
+		want   string
+	}{
+		{"shape-count", func(ck *checkpoint) { ck.Shapes = ck.Shapes[:len(ck.Shapes)-1] }, "shapes"},
+		{"tensor-count", func(ck *checkpoint) { ck.Shapes = ck.Shapes[:1]; ck.Values = ck.Values[:1] }, "tensors"},
+		{"snorm-length", func(ck *checkpoint) { ck.SNorm = ck.SNorm[:len(ck.SNorm)-1] }, "normalization"},
+		{"tensor-shape", func(ck *checkpoint) { ck.Shapes[0][0]++; ck.Values[0] = append(ck.Values[0], 0) }, "x"},
+		{"value-count", func(ck *checkpoint) { ck.Values[0] = ck.Values[0][:len(ck.Values[0])-1] }, "values"},
+	}
+	for _, tc := range cases {
+		_, err := DecodeModel(bytes.NewReader(encode(tc.mutate)))
+		if err == nil {
+			t.Fatalf("%s: corrupt checkpoint decoded without error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Clone must produce an isolated copy: mutating the original afterwards
+// must not change the clone (the copy-on-write snapshot contract).
+func TestCloneIsolatesWeights(t *testing.T) {
+	ds := testData(t, "Cu", 2)
+	m := testModel(t, ds, OptAll)
+	c := m.Clone()
+	if c == m || c.Params == m.Params {
+		t.Fatal("Clone shares structure with the original")
+	}
+	before := c.Params.FlattenValues()
+	for _, tt := range m.Params.Tensors() {
+		for i := range tt.Data {
+			tt.Data[i] += 1.0
+		}
+	}
+	after := c.Params.FlattenValues()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("clone weight %d changed when original was mutated", i)
+		}
+	}
+}

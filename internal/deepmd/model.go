@@ -86,6 +86,11 @@ func (m *Model) CloneFor(dev *device.Device) *Model {
 	return c
 }
 
+// Clone returns a deep copy of the model on the same device — the
+// copy-on-write snapshot the online trainer publishes so concurrent
+// prediction readers never observe a mid-update weight set.
+func (m *Model) Clone() *Model { return m.CloneFor(m.Dev) }
+
 // InitFromDataset sets the environment normalization (the s(r) RMS per
 // neighbor species) and the per-atom energy bias from training data, the
 // equivalent of DeePMD-kit's data statistics pass.

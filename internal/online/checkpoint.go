@@ -1,0 +1,159 @@
+package online
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/md"
+	"fekf/internal/optimize"
+)
+
+// Checkpoint is the combined on-disk state of an online trainer: the model
+// stream, the full optimizer state (λ schedule position, update counter,
+// every P block), the replay buffer and gate, and the stream counters.
+// Restoring it resumes training with an identical λ schedule and P — the
+// next optimizer step computes exactly what the uninterrupted trainer's
+// would for the same minibatch.
+type Checkpoint struct {
+	System   string
+	Species  []md.Species
+	NumAtoms int64
+
+	Steps          int64
+	FramesGatedOut int64
+	FramesAccepted int64
+
+	Model  []byte // deepmd model stream (Model.EncodeTo)
+	Opt    *optimize.FEKFCheckpoint
+	Replay *ReplayCheckpoint
+	Gate   *GateCheckpoint
+}
+
+// buildCheckpoint captures the trainer state.  Must run on the trainer
+// goroutine (or after the loop has exited).
+func (t *Trainer) buildCheckpoint() (*Checkpoint, error) {
+	var buf bytes.Buffer
+	if err := t.model.EncodeTo(&buf); err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		System:         t.system,
+		Species:        t.species,
+		NumAtoms:       t.naPer.Load(),
+		Steps:          t.steps.Load(),
+		FramesGatedOut: t.gatedOut.Load(),
+		FramesAccepted: t.accepted.Load(),
+		Model:          buf.Bytes(),
+		Opt:            t.opt.Checkpoint(),
+		Replay:         t.replay.Checkpoint(),
+		Gate:           t.gate.Checkpoint(),
+	}, nil
+}
+
+// WriteCheckpoint persists the trainer state crash-safely (temp file in
+// the target directory, fsync, atomic rename).  Must run on the trainer
+// goroutine or after the loop has exited; external callers use
+// CheckpointNow or Stop.
+func (t *Trainer) WriteCheckpoint(path string) error {
+	ck, err := t.buildCheckpoint()
+	if err != nil {
+		return err
+	}
+	return writeGobAtomic(path, ck)
+}
+
+// LoadCheckpoint reads a checkpoint written by WriteCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("online: decode checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}
+
+// ResumeTrainer reconstructs a trainer from a checkpoint: model weights,
+// optimizer (λ, update counter, P blocks — bitwise), replay buffer and
+// gate all resume where the checkpointed trainer stopped.  dev places the
+// model (nil keeps the default device); cfg supplies the runtime knobs,
+// with its replay/gate capacities overridden by the checkpointed ones so
+// the restored buffer structure matches.
+func ResumeTrainer(ck *Checkpoint, dev *device.Device, cfg TrainerConfig) (*Trainer, error) {
+	m, err := deepmd.DecodeModel(bytes.NewReader(ck.Model))
+	if err != nil {
+		return nil, err
+	}
+	if dev != nil {
+		m.Dev = dev
+	}
+	if ck.Opt == nil {
+		return nil, fmt.Errorf("online: checkpoint has no optimizer state")
+	}
+	opt, err := optimize.RestoreFEKF(ck.Opt, m)
+	if err != nil {
+		return nil, err
+	}
+	proto := &dataset.Dataset{System: ck.System, Species: ck.Species}
+	t, err := NewTrainer(m, opt, proto, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.naPer.Store(ck.NumAtoms)
+	t.steps.Store(ck.Steps)
+	t.gatedOut.Store(ck.FramesGatedOut)
+	t.accepted.Store(ck.FramesAccepted)
+	t.lambdaBits.Store(math.Float64bits(opt.Lambda()))
+	if ck.Replay != nil {
+		// reseed the sampling stream off the step counter so a resumed
+		// trainer does not replay the original seed's draw sequence
+		t.replay = RestoreReplay(ck.Replay, cfg.Seed+ck.Steps+1)
+		t.replayLen.Store(int64(t.replay.Len()))
+		t.seen.Store(t.replay.Seen())
+	}
+	if ck.Gate != nil {
+		t.gate = RestoreGate(ck.Gate, t.cfg.Gate)
+		t.gateEMA.Store(math.Float64bits(t.gate.EMA()))
+	}
+	return t, nil
+}
+
+// writeGobAtomic writes v gob-encoded to path via a fsynced temp file and
+// an atomic rename, so a crash mid-write never corrupts an existing
+// checkpoint.
+func writeGobAtomic(path string, v any) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("online: encode checkpoint %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

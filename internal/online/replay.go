@@ -1,0 +1,139 @@
+package online
+
+import (
+	"math/rand"
+
+	"fekf/internal/dataset"
+)
+
+// ReplayBuffer is the training-set surrogate of the streaming trainer: a
+// FIFO window holding the newest gated frames (recency) combined with a
+// reservoir sample over the entire gated stream (coverage — every frame
+// ever admitted has equal probability of residing in the reservoir,
+// classic Algorithm R).  Minibatches are drawn uniformly over the union,
+// so online training keeps revisiting old configurations while tracking
+// new ones.
+//
+// The buffer is not goroutine-safe: it is owned by the trainer loop.
+type ReplayBuffer struct {
+	window []dataset.Snapshot // ring buffer of the newest frames
+	wHead  int                // index of the oldest window entry
+	wLen   int
+
+	reservoir []dataset.Snapshot
+	resCap    int
+	seen      int64 // frames ever offered to the reservoir
+
+	rng *rand.Rand
+}
+
+// NewReplay returns a buffer with the given window and reservoir
+// capacities (minimum 1 each) and a deterministic sampling stream.
+func NewReplay(windowSize, reservoirSize int, seed int64) *ReplayBuffer {
+	if windowSize < 1 {
+		windowSize = 1
+	}
+	if reservoirSize < 1 {
+		reservoirSize = 1
+	}
+	return &ReplayBuffer{
+		window: make([]dataset.Snapshot, windowSize),
+		resCap: reservoirSize,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add admits one frame: it always enters the window (evicting the oldest
+// once full) and enters the reservoir with the inclusion probability that
+// keeps the reservoir a uniform sample of the whole stream.
+func (rb *ReplayBuffer) Add(s dataset.Snapshot) {
+	if rb.wLen < len(rb.window) {
+		rb.window[(rb.wHead+rb.wLen)%len(rb.window)] = s
+		rb.wLen++
+	} else {
+		rb.window[rb.wHead] = s
+		rb.wHead = (rb.wHead + 1) % len(rb.window)
+	}
+
+	rb.seen++
+	if len(rb.reservoir) < rb.resCap {
+		rb.reservoir = append(rb.reservoir, s)
+	} else if j := rb.rng.Int63n(rb.seen); j < int64(rb.resCap) {
+		rb.reservoir[j] = s
+	}
+}
+
+// Len returns the size of the sampling pool (window + reservoir slots; a
+// recent frame may occupy one of each, which mildly over-weights recency —
+// intended for online tracking).
+func (rb *ReplayBuffer) Len() int { return rb.wLen + len(rb.reservoir) }
+
+// Seen returns the number of frames ever admitted.
+func (rb *ReplayBuffer) Seen() int64 { return rb.seen }
+
+// WindowLen returns the number of frames in the FIFO window.
+func (rb *ReplayBuffer) WindowLen() int { return rb.wLen }
+
+// ReservoirLen returns the number of frames in the reservoir.
+func (rb *ReplayBuffer) ReservoirLen() int { return len(rb.reservoir) }
+
+// Sample draws bs frames uniformly (with replacement) from the pool.
+// It returns nil while the buffer is empty.
+func (rb *ReplayBuffer) Sample(bs int) []dataset.Snapshot {
+	n := rb.Len()
+	if n == 0 || bs < 1 {
+		return nil
+	}
+	out := make([]dataset.Snapshot, bs)
+	for i := range out {
+		j := rb.rng.Intn(n)
+		if j < rb.wLen {
+			out[i] = rb.window[(rb.wHead+j)%len(rb.window)]
+		} else {
+			out[i] = rb.reservoir[j-rb.wLen]
+		}
+	}
+	return out
+}
+
+// ReplayCheckpoint is the serializable state of a ReplayBuffer.
+type ReplayCheckpoint struct {
+	Window    []dataset.Snapshot // oldest first
+	WindowCap int
+	Reservoir []dataset.Snapshot
+	ResCap    int
+	Seen      int64
+}
+
+// Checkpoint copies the buffer contents for persistence (snapshot slices
+// are shared, not deep-copied; frames are never mutated after ingest).
+func (rb *ReplayBuffer) Checkpoint() *ReplayCheckpoint {
+	ck := &ReplayCheckpoint{
+		WindowCap: len(rb.window),
+		ResCap:    rb.resCap,
+		Seen:      rb.seen,
+		Reservoir: append([]dataset.Snapshot(nil), rb.reservoir...),
+	}
+	for i := 0; i < rb.wLen; i++ {
+		ck.Window = append(ck.Window, rb.window[(rb.wHead+i)%len(rb.window)])
+	}
+	return ck
+}
+
+// RestoreReplay rebuilds a buffer from a checkpoint with a fresh sampling
+// stream seeded by seed.
+func RestoreReplay(ck *ReplayCheckpoint, seed int64) *ReplayBuffer {
+	rb := NewReplay(ck.WindowCap, ck.ResCap, seed)
+	for _, s := range ck.Window {
+		if rb.wLen < len(rb.window) {
+			rb.window[rb.wLen] = s
+			rb.wLen++
+		}
+	}
+	rb.reservoir = append(rb.reservoir, ck.Reservoir...)
+	if len(rb.reservoir) > rb.resCap {
+		rb.reservoir = rb.reservoir[:rb.resCap]
+	}
+	rb.seen = ck.Seen
+	return rb
+}

@@ -1,0 +1,169 @@
+package optimize
+
+import (
+	"fmt"
+
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+)
+
+// KalmanCheckpoint is the serializable snapshot of a KalmanState: the
+// filter configuration, the position of the λ memory-factor schedule, the
+// measurement-update counter and every error-covariance block, row-major.
+// Restoring it resumes the filter bitwise — the next measurement update
+// computes exactly the values the uninterrupted run would have.
+type KalmanCheckpoint struct {
+	Cfg     KalmanConfig
+	Lambda  float64
+	Updates int
+	Sizes   []int       // per-block parameter counts, for structural validation
+	P       [][]float64 // per-block covariance values, row-major
+}
+
+// Checkpoint deep-copies the filter state.  It must not be called while a
+// covariance drain is in flight (between UpdateSplit and its drain); the
+// optimizers' Step never returns in that window, so any caller that
+// serializes with Step is safe.
+func (ks *KalmanState) Checkpoint() *KalmanCheckpoint {
+	if ks.draining {
+		panic("optimize: Checkpoint during an in-flight covariance drain")
+	}
+	ck := &KalmanCheckpoint{Cfg: ks.Cfg, Lambda: ks.Lambda, Updates: ks.Updates}
+	for i, b := range ks.Blocks {
+		ck.Sizes = append(ck.Sizes, b.Size())
+		ck.P = append(ck.P, append([]float64(nil), ks.P[i].Data...))
+	}
+	return ck
+}
+
+// RestoreKalmanState rebuilds a KalmanState on dev from a checkpoint,
+// validating that the block structure derived from layerSizes matches the
+// one the checkpoint was taken from.
+func RestoreKalmanState(ck *KalmanCheckpoint, layerSizes []int, dev *device.Device) (*KalmanState, error) {
+	if len(ck.P) != len(ck.Sizes) {
+		return nil, fmt.Errorf("optimize: checkpoint has %d P blocks for %d sizes", len(ck.P), len(ck.Sizes))
+	}
+	ks := NewKalmanState(ck.Cfg, layerSizes, dev)
+	if len(ks.Blocks) != len(ck.Sizes) {
+		return nil, fmt.Errorf("optimize: checkpoint has %d blocks, model wants %d", len(ck.Sizes), len(ks.Blocks))
+	}
+	for i, b := range ks.Blocks {
+		if b.Size() != ck.Sizes[i] {
+			return nil, fmt.Errorf("optimize: checkpoint block %d has %d params, model wants %d", i, ck.Sizes[i], b.Size())
+		}
+		if len(ck.P[i]) != b.Size()*b.Size() {
+			return nil, fmt.Errorf("optimize: checkpoint block %d holds %d values, want %d", i, len(ck.P[i]), b.Size()*b.Size())
+		}
+		copy(ks.P[i].Data, ck.P[i])
+	}
+	ks.Lambda = ck.Lambda
+	ks.Updates = ck.Updates
+	return ks, nil
+}
+
+// PDiagonal copies the diagonal of the block-diagonal P into a vector
+// aligned with the flat parameter ordering.  The diagonal is the filter's
+// per-parameter error variance — the uncertainty signal ALKPU-style frame
+// gating scores streamed configurations against.
+func (ks *KalmanState) PDiagonal() []float64 {
+	if len(ks.Blocks) == 0 {
+		return nil
+	}
+	out := make([]float64, ks.Blocks[len(ks.Blocks)-1].Hi)
+	for i, b := range ks.Blocks {
+		p := ks.P[i]
+		for j := 0; j < b.Size(); j++ {
+			out[b.Lo+j] = p.At(j, j)
+		}
+	}
+	return out
+}
+
+// FEKFCheckpoint is the serializable state of a FEKF optimizer: the
+// hyper-parameters that shape the update schedule plus the Kalman state
+// (nil when no step has been taken yet).  Pipeline mode is deliberately
+// absent — it is bitwise neutral, so the restored optimizer keeps the
+// environment default.
+type FEKFCheckpoint struct {
+	Name        string
+	Factor      QuasiLRFactor
+	ForceGroups int
+	EnergyDiv   TrustDiv
+	ForceDiv    TrustDiv
+	KCfg        KalmanConfig
+	Kalman      *KalmanCheckpoint
+}
+
+// Checkpoint captures the optimizer for a later bitwise resume.  Safe
+// whenever Step is not executing.
+func (f *FEKF) Checkpoint() *FEKFCheckpoint {
+	ck := &FEKFCheckpoint{
+		Name:        f.name,
+		Factor:      f.Factor,
+		ForceGroups: f.ForceGroups,
+		EnergyDiv:   f.EnergyDiv,
+		ForceDiv:    f.ForceDiv,
+		KCfg:        f.KCfg,
+	}
+	if f.ks != nil {
+		ck.Kalman = f.ks.Checkpoint()
+	}
+	return ck
+}
+
+// RestoreFEKF reconstructs a FEKF from a checkpoint for model m: the λ
+// schedule, update counter and every P block resume exactly where the
+// checkpointed optimizer stopped.  The Kalman block structure is
+// re-derived from m's layer sizes and validated against the checkpoint.
+func RestoreFEKF(ck *FEKFCheckpoint, m *deepmd.Model) (*FEKF, error) {
+	f := &FEKF{
+		KCfg:        ck.KCfg,
+		Factor:      ck.Factor,
+		ForceGroups: ck.ForceGroups,
+		EnergyDiv:   ck.EnergyDiv,
+		ForceDiv:    ck.ForceDiv,
+		Pipeline:    PipelineDefault(),
+		name:        ck.Name,
+	}
+	if f.name == "" {
+		f.name = "FEKF"
+	}
+	if f.ForceGroups < 1 {
+		f.ForceGroups = 4
+	}
+	if ck.Kalman != nil {
+		ks, err := RestoreKalmanState(ck.Kalman, m.Params.LayerSizes(), m.Dev)
+		if err != nil {
+			return nil, err
+		}
+		f.ks = ks
+	}
+	return f, nil
+}
+
+// PDiagonal returns the current P diagonal aligned with the flat parameter
+// vector, or nil before the first step (no curvature information yet).
+func (f *FEKF) PDiagonal() []float64 {
+	if f.ks == nil {
+		return nil
+	}
+	return f.ks.PDiagonal()
+}
+
+// Lambda returns the current memory factor λ: the schedule position after
+// the updates taken so far, or the configured λ₀ before the first step.
+func (f *FEKF) Lambda() float64 {
+	if f.ks == nil {
+		return f.KCfg.Lambda0
+	}
+	return f.ks.Lambda
+}
+
+// Updates returns the number of Kalman measurement updates applied (each
+// Step performs 1 + ForceGroups of them); 0 before the first step.
+func (f *FEKF) Updates() int {
+	if f.ks == nil {
+		return 0
+	}
+	return f.ks.Updates
+}

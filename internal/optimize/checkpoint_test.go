@@ -1,0 +1,155 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+)
+
+func ckptSetup(t *testing.T) (*dataset.Dataset, *deepmd.Model) {
+	t.Helper()
+	ds, err := dataset.Generate("Cu", dataset.GenOptions{
+		Snapshots: 8, SampleEvery: 4, EquilSteps: 25, Tiny: true, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	m, err := deepmd.NewModel(deepmd.TinyConfig(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Level = deepmd.OptAll
+	m.Dev = device.New("ckpt", device.A100())
+	if err := m.InitFromDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	return ds, m
+}
+
+// A restored FEKF must resume bitwise: identical λ, update counter and P,
+// and an identical weight trajectory on identical minibatches.
+func TestFEKFCheckpointResumesBitwise(t *testing.T) {
+	ds, m := ckptSetup(t)
+	opt := NewFEKF()
+	opt.KCfg = opt.KCfg.WithOpt3()
+	idx := []int{0, 1, 2, 3}
+	for s := 0; s < 3; s++ {
+		if _, err := opt.Step(m, ds, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ck := opt.Checkpoint()
+	m2 := m.Clone()
+	opt2, err := RestoreFEKF(ck, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt2.Lambda() != opt.Lambda() {
+		t.Fatalf("restored λ %v, want %v", opt2.Lambda(), opt.Lambda())
+	}
+	if opt2.Updates() != opt.Updates() {
+		t.Fatalf("restored updates %d, want %d", opt2.Updates(), opt.Updates())
+	}
+	for i := range opt.ks.P {
+		for j, v := range opt.ks.P[i].Data {
+			if opt2.ks.P[i].Data[j] != v {
+				t.Fatalf("P block %d element %d differs after restore", i, j)
+			}
+		}
+	}
+
+	// same minibatch on both: trajectories must stay bitwise identical
+	for s := 0; s < 2; s++ {
+		if _, err := opt.Step(m, ds, idx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opt2.Step(m2, ds, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1 := m.Params.FlattenValues()
+	w2 := m2.Params.FlattenValues()
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("weight %d diverged after resume: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+	if opt.Lambda() != opt2.Lambda() {
+		t.Fatalf("λ diverged after resume: %v vs %v", opt.Lambda(), opt2.Lambda())
+	}
+	for i := range opt.ks.P {
+		for j, v := range opt.ks.P[i].Data {
+			if opt2.ks.P[i].Data[j] != v {
+				t.Fatalf("P diverged after resume at block %d element %d", i, j)
+			}
+		}
+	}
+}
+
+func TestFEKFCheckpointBeforeFirstStep(t *testing.T) {
+	_, m := ckptSetup(t)
+	opt := NewFEKF()
+	ck := opt.Checkpoint()
+	if ck.Kalman != nil {
+		t.Fatal("expected nil Kalman state before the first step")
+	}
+	opt2, err := RestoreFEKF(ck, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt2.Lambda() != opt.KCfg.Lambda0 || opt2.Updates() != 0 || opt2.PDiagonal() != nil {
+		t.Fatalf("fresh restore not pristine: λ=%v updates=%d", opt2.Lambda(), opt2.Updates())
+	}
+}
+
+func TestRestoreKalmanStateValidates(t *testing.T) {
+	ds, m := ckptSetup(t)
+	opt := NewFEKF()
+	if _, err := opt.Step(m, ds, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	ck := opt.ks.Checkpoint()
+	// wrong layer structure must be rejected, not silently mis-mapped
+	if _, err := RestoreKalmanState(ck, []int{3, 5}, m.Dev); err == nil {
+		t.Fatal("expected error for mismatched layer sizes")
+	}
+	// corrupt block payload must be rejected
+	ck2 := opt.ks.Checkpoint()
+	ck2.P[0] = ck2.P[0][:len(ck2.P[0])-1]
+	if _, err := RestoreKalmanState(ck2, m.Params.LayerSizes(), m.Dev); err == nil {
+		t.Fatal("expected error for truncated P block")
+	}
+}
+
+func TestPDiagonalAlignedAndFinite(t *testing.T) {
+	ds, m := ckptSetup(t)
+	opt := NewFEKF()
+	if opt.PDiagonal() != nil {
+		t.Fatal("PDiagonal before first step must be nil")
+	}
+	if _, err := opt.Step(m, ds, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	pd := opt.PDiagonal()
+	if len(pd) != m.NumParams() {
+		t.Fatalf("PDiagonal has %d entries for %d params", len(pd), m.NumParams())
+	}
+	for i, v := range pd {
+		if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("P diagonal %d is %v, want positive finite", i, v)
+		}
+	}
+	// cross-check against the raw blocks
+	for bi, b := range opt.ks.Blocks {
+		for j := 0; j < b.Size(); j++ {
+			if pd[b.Lo+j] != opt.ks.P[bi].At(j, j) {
+				t.Fatalf("PDiagonal misaligned at block %d offset %d", bi, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"fekf/internal/md"
+	"fekf/internal/online"
+)
+
+// Config controls the HTTP server.
+type Config struct {
+	// Addr is the listen address; ":0" or "127.0.0.1:0" picks a random
+	// free port (see Server.Addr).
+	Addr string
+	// MaxBatch caps the prediction micro-batch (default 16).
+	MaxBatch int
+	// BatchWindow is how long the first request of a micro-batch waits
+	// for company (default 2ms).
+	BatchWindow time.Duration
+	// BatchWorkers is the number of parallel batch executors (default 2).
+	BatchWorkers int
+	// RequestTimeout bounds each request end to end (default 10s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 16 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 16
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchWorkers < 1 {
+		c.BatchWorkers = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// Server wires the online trainer and the prediction batcher into an HTTP
+// API:
+//
+//	POST /v1/predict  energy/forces from the latest snapshot (micro-batched)
+//	POST /v1/frames   labelled-frame ingest into the trainer queue
+//	GET  /healthz     liveness + snapshot provenance
+//	GET  /v1/stats    queue depth, snapshot age, λ, counters
+type Server struct {
+	cfg Config
+	tr  *online.Trainer
+	bat *Batcher
+
+	http  *http.Server
+	ln    net.Listener
+	start time.Time
+
+	predictN atomic.Int64
+	frameN   atomic.Int64
+}
+
+// New builds a server around a trainer (which the caller has Started or
+// will Start; Shutdown stops it).
+func New(tr *online.Trainer, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		tr:    tr,
+		bat:   NewBatcher(tr.Snapshot, cfg.MaxBatch, cfg.BatchWindow, cfg.BatchWorkers),
+		start: time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/frames", s.handleFrames)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.http = &http.Server{
+		Handler:           http.TimeoutHandler(mux, cfg.RequestTimeout, `{"error":"request timed out"}`),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       cfg.RequestTimeout,
+		WriteTimeout:      cfg.RequestTimeout + 5*time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	return s
+}
+
+// Start binds the listener and begins serving in the background.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve returns after Shutdown; anything else is fatal for
+			// the listener, surfaced through trainer stats' last_error
+			// being absent and the process logs of cmd/serve.
+			fmt.Println("serve:", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: stop accepting requests and wait for
+// handlers, stop the prediction batcher, then stop the trainer — which
+// drains its queue and writes the final checkpoint.
+func (s *Server) Shutdown(ctx context.Context) error {
+	httpErr := s.http.Shutdown(ctx)
+	s.bat.Stop()
+	trErr := s.tr.Stop(ctx)
+	return errors.Join(httpErr, trErr)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.tr.Stats()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:       "ok",
+		System:       st.System,
+		Steps:        st.Steps,
+		SnapshotStep: st.SnapshotStep,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Stats:           s.tr.Stats(),
+		PredictRequests: s.predictN.Load(),
+		PredictBatches:  s.bat.Batches(),
+		FrameRequests:   s.frameN.Load(),
+		UptimeMs:        time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
+	s.frameN.Add(1)
+	var req FramesRequest
+	if !decodeJSON(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if len(req.Frames) == 0 {
+		writeErr(w, http.StatusBadRequest, "no frames in request")
+		return
+	}
+	resp := FramesResponse{}
+	for i := range req.Frames {
+		ok, err := s.tr.Ingest(req.Frames[i].Snapshot())
+		switch {
+		case errors.Is(err, online.ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, "trainer is shutting down")
+			return
+		case err != nil:
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("frame %d: %v", i, err))
+			return
+		case ok:
+			resp.Accepted++
+		default:
+			resp.Dropped++
+		}
+	}
+	resp.QueueDepth = s.tr.Stats().QueueDepth
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.predictN.Add(1)
+	var req PredictRequest
+	if !decodeJSON(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	species := s.tr.Species()
+	for i, ty := range req.Types {
+		if ty < 0 || ty >= len(species) {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("atom %d has species %d, table holds %d", i, ty, len(species)))
+			return
+		}
+	}
+	sys := &md.System{Box: req.Box, Pos: req.Pos, Types: req.Types, Species: species}
+	res, err := s.bat.Predict(r.Context(), sys)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Energy:       res.Energy,
+		Forces:       res.Forces,
+		SnapshotStep: res.Step,
+		Batch:        res.Batch,
+	})
+}
+
+// decodeJSON reads a bounded JSON body into v, answering 400 on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

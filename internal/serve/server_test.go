@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/online"
+	"fekf/internal/optimize"
+)
+
+// serveSetup builds a started trainer + server pair bound to a random port
+// and returns the dataset feeding it.  The server is shut down at cleanup.
+func serveSetup(t *testing.T, tcfg online.TrainerConfig, scfg Config) (*dataset.Dataset, *online.Trainer, *Server) {
+	t.Helper()
+	ds, err := dataset.Generate("Cu", dataset.GenOptions{
+		Snapshots: 16, SampleEvery: 4, EquilSteps: 25, Tiny: true, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	m, err := deepmd.NewModel(deepmd.TinyConfig(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Level = deepmd.OptAll
+	m.Dev = device.New("serve-test", device.A100())
+	if err := m.InitFromDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	opt := optimize.NewFEKF()
+	opt.KCfg = opt.KCfg.WithOpt3()
+	tr, err := online.NewTrainer(m, opt, ds, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Start()
+	srv := New(tr, scfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ds, tr, srv
+}
+
+func postJSON(t *testing.T, url string, body, out any) (int, error) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}
+
+func framePayload(ds *dataset.Dataset, i int) FramePayload {
+	s := ds.Snapshots[i]
+	return FramePayload{
+		Pos: s.Pos, Box: s.Box, Types: s.Types,
+		Energy: s.Energy, Forces: s.Forces, Temperature: s.Temperature,
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	ds, _, srv := serveSetup(t,
+		online.TrainerConfig{BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, TrainIdle: true, Seed: 5,
+			Gate: online.GateConfig{Enabled: false}},
+		Config{})
+	base := "http://" + srv.Addr()
+
+	// healthz
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.System != "Cu" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, health)
+	}
+
+	// frames ingest
+	req := FramesRequest{}
+	for i := 0; i < 6; i++ {
+		req.Frames = append(req.Frames, framePayload(ds, i))
+	}
+	var fresp FramesResponse
+	code, err := postJSON(t, base+"/v1/frames", req, &fresp)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("frames: %d %v", code, err)
+	}
+	if fresp.Accepted != 6 {
+		t.Fatalf("frames accepted %d, want 6", fresp.Accepted)
+	}
+
+	// predict once training produced a snapshot (initial snapshot exists
+	// immediately, so this cannot hang)
+	s := ds.Snapshots[0]
+	var presp PredictResponse
+	code, err = postJSON(t, base+"/v1/predict",
+		PredictRequest{Pos: s.Pos, Box: s.Box, Types: s.Types}, &presp)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("predict: %d %v", code, err)
+	}
+	if len(presp.Forces) != len(s.Forces) {
+		t.Fatalf("predict returned %d force components, want %d", len(presp.Forces), len(s.Forces))
+	}
+	if presp.Energy != presp.Energy {
+		t.Fatal("predict returned NaN energy")
+	}
+
+	// malformed requests are rejected, not served
+	var eresp ErrorResponse
+	code, err = postJSON(t, base+"/v1/predict",
+		PredictRequest{Pos: s.Pos[:3], Box: s.Box, Types: s.Types}, &eresp)
+	if err != nil || code != http.StatusBadRequest {
+		t.Fatalf("short predict accepted: %d %v", code, err)
+	}
+	code, err = postJSON(t, base+"/v1/frames", FramesRequest{}, &eresp)
+	if err != nil || code != http.StatusBadRequest {
+		t.Fatalf("empty frames accepted: %d %v", code, err)
+	}
+	badTypes := append([]int(nil), s.Types...)
+	badTypes[0] = 99
+	code, err = postJSON(t, base+"/v1/predict",
+		PredictRequest{Pos: s.Pos, Box: s.Box, Types: badTypes}, &eresp)
+	if err != nil || code != http.StatusBadRequest {
+		t.Fatalf("out-of-range species accepted: %d %v", code, err)
+	}
+
+	// stats reflect the traffic
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.FrameRequests < 1 || stats.PredictRequests < 1 || stats.FramesQueued < 6 {
+		t.Fatalf("stats do not reflect traffic: %+v", stats)
+	}
+}
+
+// Concurrent predictions against a training server: every response must be
+// complete and consistent, and micro-batching should group at least some of
+// them.  Run under -race via make ci.
+func TestServerConcurrentPredict(t *testing.T) {
+	ds, _, srv := serveSetup(t,
+		online.TrainerConfig{BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, TrainIdle: true, Seed: 5,
+			Gate: online.GateConfig{Enabled: false}},
+		Config{MaxBatch: 8, BatchWindow: 5 * time.Millisecond, BatchWorkers: 2})
+	base := "http://" + srv.Addr()
+
+	req := FramesRequest{}
+	for i := 0; i < 4; i++ {
+		req.Frames = append(req.Frames, framePayload(ds, i))
+	}
+	var fresp FramesResponse
+	if code, err := postJSON(t, base+"/v1/frames", req, &fresp); err != nil || code != http.StatusOK {
+		t.Fatalf("frames: %d %v", code, err)
+	}
+
+	const clients, rounds = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*rounds)
+	maxBatch := int64(0)
+	var mu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				s := ds.Snapshots[(c+r)%ds.Len()]
+				var presp PredictResponse
+				code, err := postJSON(t, base+"/v1/predict",
+					PredictRequest{Pos: s.Pos, Box: s.Box, Types: s.Types}, &presp)
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Errorf("client %d round %d: %d %v", c, r, code, err)
+					return
+				}
+				if len(presp.Forces) != 3*len(s.Types) || presp.Energy != presp.Energy {
+					errs <- fmt.Errorf("client %d round %d: incomplete response", c, r)
+					return
+				}
+				mu.Lock()
+				if int64(presp.Batch) > maxBatch {
+					maxBatch = int64(presp.Batch)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if maxBatch < 2 {
+		t.Logf("note: no request shared a micro-batch (max batch %d)", maxBatch)
+	}
+}
+
+// Graceful shutdown must stop serving, drain the trainer, and leave the
+// final checkpoint behind.
+func TestServerGracefulShutdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "final.ckpt")
+	ds, tr, srv := serveSetup(t,
+		online.TrainerConfig{BatchSize: 2, MinFrames: 2, CheckpointPath: path, Seed: 5,
+			Gate: online.GateConfig{Enabled: false}},
+		Config{})
+	base := "http://" + srv.Addr()
+
+	req := FramesRequest{}
+	for i := 0; i < 4; i++ {
+		req.Frames = append(req.Frames, framePayload(ds, i))
+	}
+	var fresp FramesResponse
+	if code, err := postJSON(t, base+"/v1/frames", req, &fresp); err != nil || code != http.StatusOK {
+		t.Fatalf("frames: %d %v", code, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := online.LoadCheckpoint(path); err != nil {
+		t.Fatalf("final checkpoint missing after shutdown: %v", err)
+	}
+	if tr.Stats().Steps != tr.Snapshot().Step {
+		t.Fatal("final snapshot does not reflect the last training step")
+	}
+	// the listener is closed: new requests fail
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}

@@ -53,7 +53,7 @@ type Config struct {
 	EvalSubset int
 	// Seed drives batch shuffling.
 	Seed int64
-	// Quiet suppresses the per-epoch callback (see OnEpoch).
+	// OnEpoch, if non-nil, is invoked after each epoch's evaluation.
 	OnEpoch func(epoch int, met deepmd.Metrics)
 }
 
@@ -92,7 +92,7 @@ func Run(evalModel *deepmd.Model, st Stepper, ds *dataset.Dataset, cfg Config) (
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := Result{Optimizer: st.Name()}
-	res.Best.EnergyRMSE = -1
+	res.Best.EnergyPerAtomRMSE = -1
 	start := time.Now()
 
 	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
@@ -109,7 +109,7 @@ func Run(evalModel *deepmd.Model, st Stepper, ds *dataset.Dataset, cfg Config) (
 			return res, err
 		}
 		res.Final = met
-		if res.Best.EnergyRMSE < 0 || met.EnergyPerAtomRMSE < res.Best.EnergyPerAtomRMSE {
+		if res.Best.EnergyPerAtomRMSE < 0 || met.EnergyPerAtomRMSE < res.Best.EnergyPerAtomRMSE {
 			res.Best = met
 		}
 		res.History = append(res.History, EpochRecord{Epoch: epoch, Metrics: met})
