@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-pipeline race-online fuzz bench fmt serve-smoke
+.PHONY: ci vet test race race-pipeline race-online race-fleet fuzz bench bench-fleet fmt serve-smoke
 
-ci: vet test race race-pipeline race-online fuzz serve-smoke
+ci: vet test race race-pipeline race-online race-fleet fuzz bench-fleet serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,11 +37,22 @@ race-pipeline:
 race-online:
 	$(GO) test -race -timeout 15m -count=1 ./internal/online ./internal/serve
 
+# Soak the replicated fleet under the race detector: N replicas in lockstep
+# collective steps while HTTP-style producers shard frames into the queues,
+# readers run forwards on routed snapshots, and stats poll — plus the
+# kill / rejoin membership paths.
+race-fleet:
+	$(GO) test -race -timeout 20m -count=1 ./internal/fleet
+
 # End-to-end smoke of cmd/serve: boot a trainer+server on a random port,
 # stream MD frames at it, require training steps and a checkpoint, shut
-# down gracefully and prove the checkpoint resumes λ and P bitwise.
+# down gracefully and prove the checkpoint resumes λ and P bitwise.  The
+# second run repeats the loop on a 3-replica fleet, adding the zero-drift
+# invariant, a replica kill (predict availability must survive) and a
+# checkpoint-catch-up rejoin.
 serve-smoke:
 	$(GO) run ./cmd/serve -smoke
+	$(GO) run ./cmd/serve -smoke -replicas 3
 
 # Short fuzz pass over the kernels whose parallel==serial bitwise contract
 # the pipeline relies on (go test runs one fuzz target per invocation).
@@ -54,6 +65,11 @@ fuzz:
 # pipelined FEKF iteration).
 bench:
 	$(GO) test -bench 'Kalman|GEMM|FEKFPipeline' -benchmem .
+
+# Replica-count sweep of one lockstep fleet step (1/2/4 replicas); run once
+# per iteration in ci as a smoke, without -benchtime for real numbers.
+bench-fleet:
+	$(GO) test ./internal/fleet -run '^$$' -bench FleetScaling -benchtime 1x
 
 fmt:
 	gofmt -l .

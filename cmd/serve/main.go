@@ -29,6 +29,7 @@ import (
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
+	"fekf/internal/fleet"
 	"fekf/internal/md"
 	"fekf/internal/online"
 	"fekf/internal/optimize"
@@ -58,14 +59,26 @@ func main() {
 		mdClient   = flag.Bool("mdclient", false, "run the synthetic MD frame producer against this server")
 		mdFrames   = flag.Int("md-frames", 0, "frames the MD client sends (0 = until shutdown)")
 		mdPeriod   = flag.Duration("md-period", 100*time.Millisecond, "delay between MD client frames")
+		replicas   = flag.Int("replicas", 1, "fleet replica count (>1 runs the replicated online fleet)")
+		shardPol   = flag.String("shard-policy", "round-robin", "fleet ingest sharding: round-robin | hash")
 		seed       = flag.Int64("seed", 1, "random seed")
-		smoke      = flag.Bool("smoke", false, "self-test: random port, MD frames, predicts, graceful shutdown, kill→restart resume")
+		smoke      = flag.Bool("smoke", false, "self-test: random port, MD frames, predicts, graceful shutdown, kill→restart resume (with -replicas N>1: fleet kill/revive + drift checks)")
 	)
 	flag.Parse()
 	tensor.SetWorkers(*workers)
 
+	shard, err := fleet.ParseShardPolicy(*shardPol)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+
 	if *smoke {
-		if err := runSmoke(*system, *seed); err != nil {
+		if *replicas > 1 {
+			err = runFleetSmoke(*system, *seed, *replicas, shard)
+		} else {
+			err = runSmoke(*system, *seed)
+		}
+		if err != nil {
 			log.Fatalf("serve: SMOKE FAILED: %v", err)
 		}
 		fmt.Println("SMOKE OK")
@@ -76,32 +89,58 @@ func main() {
 	if err != nil {
 		log.Fatalf("serve: %v", err)
 	}
-	tcfg := online.TrainerConfig{
-		BatchSize:       *bs,
-		QueueSize:       *queueSize,
-		QueuePolicy:     policy,
-		WindowSize:      *window,
-		ReservoirSize:   *reservoir,
-		SnapshotEvery:   *snapEvery,
-		CheckpointPath:  *ckptPath,
-		CheckpointEvery: *ckptEvery,
-		Gate:            gateConfig(*gateOn, *gateThresh),
-		TrainIdle:       *trainIdle,
-		Seed:            *seed,
+
+	var be serve.Backend
+	if *replicas > 1 {
+		fcfg := fleet.Config{
+			Replicas:        *replicas,
+			ShardPolicy:     shard,
+			BatchSize:       *bs,
+			QueueSize:       *queueSize,
+			QueuePolicy:     policy,
+			WindowSize:      *window,
+			ReservoirSize:   *reservoir,
+			SnapshotEvery:   *snapEvery,
+			CheckpointPath:  *ckptPath,
+			CheckpointEvery: *ckptEvery,
+			Gate:            gateConfig(*gateOn, *gateThresh),
+			TrainIdle:       *trainIdle,
+			Seed:            *seed,
+		}
+		fl, err := buildFleet(*system, *bootstrap, *seed, *resume, *ckptPath, fcfg)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		fl.Start()
+		be = fl
+	} else {
+		tcfg := online.TrainerConfig{
+			BatchSize:       *bs,
+			QueueSize:       *queueSize,
+			QueuePolicy:     policy,
+			WindowSize:      *window,
+			ReservoirSize:   *reservoir,
+			SnapshotEvery:   *snapEvery,
+			CheckpointPath:  *ckptPath,
+			CheckpointEvery: *ckptEvery,
+			Gate:            gateConfig(*gateOn, *gateThresh),
+			TrainIdle:       *trainIdle,
+			Seed:            *seed,
+		}
+		tr, err := buildTrainer(*system, *bootstrap, *seed, *resume, *ckptPath, tcfg)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		tr.Start()
+		be = tr
 	}
 
-	tr, err := buildTrainer(*system, *bootstrap, *seed, *resume, *ckptPath, tcfg)
-	if err != nil {
-		log.Fatalf("serve: %v", err)
-	}
-	tr.Start()
-
-	srv := serve.New(tr, serve.Config{Addr: *addr})
+	srv := serve.New(be, serve.Config{Addr: *addr})
 	if err := srv.Start(); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
-	log.Printf("serving %s on http://%s  (POST /v1/frames, POST /v1/predict, GET /healthz, GET /v1/stats)",
-		*system, srv.Addr())
+	log.Printf("serving %s on http://%s with %d replica(s)  (POST /v1/frames, POST /v1/predict, GET /healthz, GET /v1/stats)",
+		*system, srv.Addr(), *replicas)
 
 	stopClient := make(chan struct{})
 	clientDone := make(chan struct{})
@@ -127,7 +166,7 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Fatalf("serve: shutdown: %v", err)
 	}
-	st := tr.Stats()
+	st := be.Stats()
 	log.Printf("drained: %d steps, λ=%.6f, %d frames accepted, %d gated out, %d checkpoints",
 		st.Steps, st.Lambda, st.FramesAccepted, st.FramesGatedOut, st.Checkpoints)
 }
@@ -158,29 +197,10 @@ func buildTrainer(system string, bootstrap int, seed int64, resume bool, ckptPat
 		}
 		log.Printf("no checkpoint at %s, bootstrapping fresh", ckptPath)
 	}
-	if bootstrap < 4 {
-		bootstrap = 4
-	}
-	ds, err := dataset.Generate(system, dataset.GenOptions{
-		Snapshots: bootstrap, SampleEvery: 5, EquilSteps: 40, Tiny: true, Seed: seed,
-	})
+	ds, m, opt, err := bootstrapModel(system, bootstrap, seed, dev)
 	if err != nil {
 		return nil, err
 	}
-	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
-	cfg := deepmd.TinyConfig(sys)
-	cfg.Seed = seed
-	m, err := deepmd.NewModel(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := m.InitFromDataset(ds); err != nil {
-		return nil, err
-	}
-	m.Level = deepmd.OptAll
-	m.Dev = dev
-	opt := optimize.NewFEKF()
-	opt.KCfg = opt.KCfg.WithOpt3()
 	tr, err := online.NewTrainer(m, opt, ds, tcfg)
 	if err != nil {
 		return nil, err
@@ -195,6 +215,75 @@ func buildTrainer(system string, bootstrap int, seed int64, resume bool, ckptPat
 	log.Printf("bootstrapped %s: %d frames, %d-atom cells, %d parameters",
 		system, ds.Len(), ds.Snapshots[0].NumAtoms(), m.NumParams())
 	return tr, nil
+}
+
+// bootstrapModel generates a small labelled dataset and an initialized tiny
+// model + paper-default FEKF for it — the shared boot path of the single
+// trainer and the fleet.
+func bootstrapModel(system string, bootstrap int, seed int64, dev *device.Device) (*dataset.Dataset, *deepmd.Model, *optimize.FEKF, error) {
+	if bootstrap < 4 {
+		bootstrap = 4
+	}
+	ds, err := dataset.Generate(system, dataset.GenOptions{
+		Snapshots: bootstrap, SampleEvery: 5, EquilSteps: 40, Tiny: true, Seed: seed,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	cfg := deepmd.TinyConfig(sys)
+	cfg.Seed = seed
+	m, err := deepmd.NewModel(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := m.InitFromDataset(ds); err != nil {
+		return nil, nil, nil, err
+	}
+	m.Level = deepmd.OptAll
+	m.Dev = dev
+	opt := optimize.NewFEKF()
+	opt.KCfg = opt.KCfg.WithOpt3()
+	return ds, m, opt, nil
+}
+
+// buildFleet resumes a fleet from its checkpoint when asked (and present),
+// else bootstraps a fresh model and replicates it across fcfg.Replicas
+// replicas, seeding the sharded stream with the bootstrap frames.
+func buildFleet(system string, bootstrap int, seed int64, resume bool, ckptPath string, fcfg fleet.Config) (*fleet.Fleet, error) {
+	if resume && ckptPath != "" {
+		if _, err := os.Stat(ckptPath); err == nil {
+			ck, err := fleet.LoadCheckpoint(ckptPath)
+			if err != nil {
+				return nil, err
+			}
+			fl, err := fleet.Resume(ck, fcfg)
+			if err != nil {
+				return nil, err
+			}
+			st := fl.Stats()
+			log.Printf("resumed fleet from %s: %d replicas, step %d, λ=%.6f",
+				ckptPath, fl.Replicas(), st.Steps, st.Lambda)
+			return fl, nil
+		}
+		log.Printf("no checkpoint at %s, bootstrapping fresh", ckptPath)
+	}
+	ds, m, opt, err := bootstrapModel(system, bootstrap, seed, device.New("gpu0", device.A100()))
+	if err != nil {
+		return nil, err
+	}
+	fl, err := fleet.New(m, opt, ds, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range ds.Snapshots {
+		if _, err := fl.Ingest(s); err != nil {
+			return nil, err
+		}
+	}
+	log.Printf("bootstrapped %s fleet: %d replicas (%s sharding), %d frames, %d-atom cells, %d parameters",
+		system, fl.Replicas(), fcfg.ShardPolicy, ds.Len(), ds.Snapshots[0].NumAtoms(), m.NumParams())
+	return fl, nil
 }
 
 // runMDClient drives a Langevin simulation with the classical label
@@ -358,6 +447,162 @@ func runSmoke(system string, seed int64) error {
 			stopped.Steps, resumed.Steps, stopped.Lambda, resumed.Lambda)
 	}
 	log.Printf("smoke: resumed at step %d with identical λ=%.6f", resumed.Steps, resumed.Lambda)
+	return nil
+}
+
+// runFleetSmoke is the replicated-fleet CI self-test: boot an N-replica
+// fleet behind the server, stream MD frames at it, require lockstep steps
+// with exactly zero weight/P drift, kill a replica and prove predict
+// availability and survivor consistency, rejoin it via checkpoint
+// catch-up, shut down gracefully and resume the whole fleet from its
+// checkpoint.
+func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPolicy) error {
+	dir, err := os.MkdirTemp("", "fekf-fleet-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ckpt := dir + "/fleet.ckpt"
+
+	fcfg := fleet.Config{
+		Replicas: replicas, ShardPolicy: shard,
+		BatchSize: 2, MinFrames: 2, QueueSize: 64, WindowSize: 64, ReservoirSize: 64,
+		SnapshotEvery: 1, CheckpointPath: ckpt, CheckpointEvery: 4,
+		Gate: gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
+	}
+	fl, err := buildFleet(system, 8, seed, false, "", fcfg)
+	if err != nil {
+		return err
+	}
+	fl.Start()
+	srv := serve.New(fl, serve.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	base := "http://" + srv.Addr()
+	client := &http.Client{Timeout: 30 * time.Second}
+	log.Printf("fleet smoke: %d replicas (%s sharding) on %s", replicas, shard, base)
+
+	hr, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", hr.Status)
+	}
+
+	// stream labelled MD frames with interleaved predictions
+	if err := runMDClient(srv.Addr(), system, seed, 12, 0, make(chan struct{})); err != nil {
+		return err
+	}
+
+	// require lockstep progress, a periodic checkpoint, and zero drift
+	waitStats := func(cond func(serve.StatsResponse) bool, what string) (serve.StatsResponse, error) {
+		deadline := time.Now().Add(120 * time.Second)
+		var st serve.StatsResponse
+		for {
+			if err := getJSON(client, base+"/v1/stats", &st); err != nil {
+				return st, err
+			}
+			if cond(st) {
+				return st, nil
+			}
+			if time.Now().After(deadline) {
+				return st, fmt.Errorf("timed out waiting for %s: %+v (fleet %+v)", what, st.Stats, st.Fleet)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	st, err := waitStats(func(st serve.StatsResponse) bool {
+		return st.Steps >= 4 && st.Checkpoints >= 1
+	}, "fleet steps + checkpoint")
+	if err != nil {
+		return err
+	}
+	if st.Fleet == nil {
+		return fmt.Errorf("/v1/stats has no fleet section")
+	}
+	if st.Fleet.Live != replicas {
+		return fmt.Errorf("only %d of %d replicas live", st.Fleet.Live, replicas)
+	}
+	if st.Fleet.WeightDrift != 0 || st.Fleet.PDrift != 0 {
+		return fmt.Errorf("replica drift after %d steps: weights %g, P %g",
+			st.Steps, st.Fleet.WeightDrift, st.Fleet.PDrift)
+	}
+	log.Printf("fleet smoke: %d lockstep steps, λ=%.6f, drift 0/0, %d ring ops (%d bytes)",
+		st.Steps, st.Lambda, st.Fleet.RingOps, st.Fleet.RingWireBytes)
+
+	// kill a replica: predicts must keep answering, survivors must keep
+	// stepping with zero drift
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := fl.Kill(ctx, 1); err != nil {
+		return fmt.Errorf("kill: %w", err)
+	}
+	spec, err := md.GetSystem(system)
+	if err != nil {
+		return err
+	}
+	sys, _ := spec.TinyBuild()
+	var presp serve.PredictResponse
+	if err := postJSON(client, base+"/v1/predict",
+		serve.PredictRequest{Pos: sys.Pos, Box: sys.Box, Types: sys.Types}, &presp); err != nil {
+		return fmt.Errorf("predict after kill: %w", err)
+	}
+	atKill := st.Steps
+	st, err = waitStats(func(st serve.StatsResponse) bool {
+		return st.Fleet != nil && st.Fleet.Live == replicas-1 && st.Steps >= atKill+2
+	}, "survivor progress after kill")
+	if err != nil {
+		return err
+	}
+	if st.Fleet.WeightDrift != 0 || st.Fleet.PDrift != 0 {
+		return fmt.Errorf("survivors drifted after kill: %g / %g", st.Fleet.WeightDrift, st.Fleet.PDrift)
+	}
+	log.Printf("fleet smoke: killed replica 1, survivors at step %d with drift 0/0, predicts answered", st.Steps)
+
+	// rejoin via checkpoint catch-up: drift must return to exactly zero
+	if err := fl.Revive(ctx, 1); err != nil {
+		return fmt.Errorf("revive: %w", err)
+	}
+	atRevive := st.Steps
+	st, err = waitStats(func(st serve.StatsResponse) bool {
+		return st.Fleet != nil && st.Fleet.Live == replicas && st.Steps >= atRevive+2
+	}, "full-fleet progress after revive")
+	if err != nil {
+		return err
+	}
+	if st.Fleet.WeightDrift != 0 || st.Fleet.PDrift != 0 {
+		return fmt.Errorf("drift after revive: %g / %g", st.Fleet.WeightDrift, st.Fleet.PDrift)
+	}
+	log.Printf("fleet smoke: revived replica 1 at step %d, drift 0/0 across %d replicas", st.Steps, replicas)
+
+	// graceful shutdown writes the final fleet checkpoint
+	sctx, scancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	stopped := fl.Stats()
+
+	// kill→restart: the resumed fleet holds the schedule position and the
+	// bitwise-consistency invariant
+	ck, err := fleet.LoadCheckpoint(ckpt)
+	if err != nil {
+		return err
+	}
+	fl2, err := fleet.Resume(ck, fcfg)
+	if err != nil {
+		return err
+	}
+	resumed := fl2.Stats()
+	if resumed.Steps != stopped.Steps || resumed.Lambda != stopped.Lambda {
+		return fmt.Errorf("fleet resume mismatch: steps %d→%d, λ %v→%v",
+			stopped.Steps, resumed.Steps, stopped.Lambda, resumed.Lambda)
+	}
+	log.Printf("fleet smoke: resumed %d replicas at step %d with identical λ=%.6f",
+		fl2.Replicas(), resumed.Steps, resumed.Lambda)
 	return nil
 }
 

@@ -105,7 +105,130 @@ func chunkOf(idx []int, rank, size int) []int {
 	return idx[lo:hi]
 }
 
-// Step performs one distributed FEKF iteration over the minibatch idx.
+// StepParams are the per-step scalars every rank of a distributed FEKF
+// step must agree on.  They are derived once from the *global* batch (the
+// union of every rank's share) and handed to each rank, so ranks holding
+// different local shares still apply identical Kalman updates.
+type StepParams struct {
+	// Scale is the quasi-learning-rate factor of the global batch.
+	Scale float64
+	// EnergyDiv and ForceDiv are the measurement-error divisors (already
+	// evaluated for the system's atom count).
+	EnergyDiv, ForceDiv float64
+	// ForceGroups is the number of sequential force measurement updates.
+	ForceGroups int
+	// Pipeline overlaps each measurement's P drain with the next group's
+	// backward and allreduce (bitwise identical to the serial schedule).
+	Pipeline bool
+}
+
+// RankStep executes one rank's role in a distributed FEKF step over ring:
+// build the local environment, funnel-aggregate gradient and ABE partials
+// with the other ranks, and apply the identical reduced Kalman update every
+// rank applies.  ds/idx are this rank's private share of the global batch;
+// a nil ds or empty idx means the rank contributes zero partials but still
+// runs the full collective schedule and applies the reduced updates — the
+// empty-shard / rank-failure path that keeps every replica's weights and P
+// bit-identical across partial failures.  inject, when non-nil, injects a
+// failure after the environment build succeeds (the consistency tests use
+// it to prove a failing rank cannot make the replicas diverge).
+//
+// Every rank must call RankStep with the same StepParams; each Kalman
+// update is gated on the reduced sample count, so a step in which no rank
+// contributed aborts atomically on every rank.
+func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p StepParams, ds *dataset.Dataset, idx []int, inject func() error) (optimize.StepInfo, error) {
+	nParams := m.Params.NumParams()
+	var env *deepmd.Env
+	var lab *deepmd.Labels
+	var err error
+	if ds != nil && len(idx) > 0 {
+		env, err = deepmd.BuildBatchEnv(m.Cfg, ds, idx)
+		if err == nil && inject != nil {
+			err = inject()
+		}
+		if err == nil {
+			lab = deepmd.BatchLabels(ds, idx)
+		}
+	}
+	active := err == nil && env != nil && lab != nil
+
+	// ---- energy update: every rank reduces and applies; a failed or idle
+	// rank's partials stay zero.  With the pipeline on, the energy P drain
+	// overlaps the force forward pass below.
+	buf := make([]float64, nParams+2)
+	var out *deepmd.Output
+	if active {
+		out = m.Forward(env, false)
+		seedE, absSum := optimize.EnergySeed(out, lab)
+		copy(buf, m.EnergyGrad(out, seedE))
+		buf[nParams] = absSum
+		buf[nParams+1] = float64(len(idx))
+	}
+	ring.Allreduce(rank, buf)
+	abe := 0.0
+	wait := func() {}
+	if buf[nParams+1] > 0 {
+		abe = buf[nParams] / (buf[nParams+1] * p.EnergyDiv)
+		delta, drain := ks.UpdateSplit(buf[:nParams], abe, p.Scale)
+		m.Params.AddFlat(delta)
+		wait = optimize.StartDrain(drain, p.Pipeline)
+	}
+	if out != nil {
+		out.Graph.Release()
+	}
+
+	// ---- force updates: group k+1's backward and its gradient/ABE ring
+	// allreduce overlap group k's replicated P drain.  The hand-off (wait
+	// before UpdateSplit) keeps the sequential measurement semantics: each
+	// group's gain stage reads the drained P, and its backward reads the
+	// post-update weights of the previous group.  Every rank applies the
+	// same reduced buffers, so the replicas stay bit-identical — including
+	// across the rank-failure zero-partial path, whose count gates are
+	// unchanged.
+	var out2 *deepmd.Output
+	fErr := make([]float64, 2) // Σ|ΔF| and component count, for StepInfo
+	if active {
+		out2 = m.Forward(env, true)
+		sum, count := optimize.ForceErrorSum(out2, lab)
+		fErr[0], fErr[1] = sum, float64(count)
+	}
+	for grp := 0; grp < p.ForceGroups; grp++ {
+		fbuf := make([]float64, nParams+2)
+		if out2 != nil {
+			seedF, fSum, count := optimize.ForceSeed(out2, lab, grp, p.ForceGroups)
+			copy(fbuf, m.ForceGrad(out2, seedF))
+			fbuf[nParams] = fSum
+			fbuf[nParams+1] = float64(count)
+		}
+		ring.Allreduce(rank, fbuf)
+		if fbuf[nParams+1] > 0 {
+			fabe := fbuf[nParams] / (fbuf[nParams+1] * p.ForceDiv)
+			wait()
+			delta, drain := ks.UpdateSplit(fbuf[:nParams], fabe, p.Scale)
+			m.Params.AddFlat(delta)
+			wait = optimize.StartDrain(drain, p.Pipeline)
+		}
+	}
+
+	// ---- reduce the force-error diagnostic so the distributed StepInfo
+	// matches the single-device contract (batch-global mean absolute
+	// force-component error).  It overlaps the last group's drain, which is
+	// joined before the step returns.
+	ring.AllreduceScalars(rank, fErr)
+	forceABE := 0.0
+	if fErr[1] > 0 {
+		forceABE = fErr[0] / fErr[1]
+	}
+	wait()
+	if out2 != nil {
+		out2.Graph.Release()
+	}
+	return optimize.StepInfo{EnergyABE: abe, ForceABE: forceABE}, err
+}
+
+// Step performs one distributed FEKF iteration over the minibatch idx,
+// chunking it contiguously across the ranks and running each rank's
+// RankStep concurrently.
 //
 // Failure semantics: a rank whose environment build fails still runs the
 // full collective schedule, contributing zero gradient/error partials, and
@@ -125,10 +248,13 @@ func (dp *DataParallelFEKF) Step(ds *dataset.Dataset, idx []int) (optimize.StepI
 		}
 	}
 	na := ds.Snapshots[idx[0]].NumAtoms()
-	eDiv := dp.EnergyDiv.Value(na)
-	fDiv := dp.ForceDiv.Value(na)
-	scale := dp.Factor.Apply(len(idx))
-	nParams := dp.replicas[0].Params.NumParams()
+	p := StepParams{
+		Scale:       dp.Factor.Apply(len(idx)),
+		EnergyDiv:   dp.EnergyDiv.Value(na),
+		ForceDiv:    dp.ForceDiv.Value(na),
+		ForceGroups: dp.ForceGroups,
+		Pipeline:    dp.Pipeline,
+	}
 
 	var wg sync.WaitGroup
 	errs := make([]error, r)
@@ -137,95 +263,12 @@ func (dp *DataParallelFEKF) Step(ds *dataset.Dataset, idx []int) (optimize.StepI
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			m := dp.replicas[rank]
-			ks := dp.states[rank]
-			chunk := chunkOf(idx, rank, r)
-			env, err := deepmd.BuildBatchEnv(m.Cfg, ds, chunk)
-			if err == nil && dp.envFail != nil {
-				err = dp.envFail(rank)
+			var inject func() error
+			if dp.envFail != nil {
+				inject = func() error { return dp.envFail(rank) }
 			}
-			errs[rank] = err
-			var lab *deepmd.Labels
-			if err == nil {
-				lab = deepmd.BatchLabels(ds, chunk)
-			}
-
-			// ---- energy update: every rank reduces and applies; a failed
-			// rank's partials stay zero.  With the pipeline on, the energy
-			// P drain overlaps the force forward pass below.
-			buf := make([]float64, nParams+2)
-			var out *deepmd.Output
-			if err == nil {
-				out = m.Forward(env, false)
-				seedE, absSum := optimize.EnergySeed(out, lab)
-				copy(buf, m.EnergyGrad(out, seedE))
-				buf[nParams] = absSum
-				buf[nParams+1] = float64(len(chunk))
-			}
-			dp.ring.Allreduce(rank, buf)
-			abe := 0.0
-			wait := func() {}
-			if buf[nParams+1] > 0 {
-				abe = buf[nParams] / (buf[nParams+1] * eDiv)
-				delta, drain := ks.UpdateSplit(buf[:nParams], abe, scale)
-				m.Params.AddFlat(delta)
-				wait = optimize.StartDrain(drain, dp.Pipeline)
-			}
-			if out != nil {
-				out.Graph.Release()
-			}
-
-			// ---- force updates: group k+1's backward and its gradient/ABE
-			// ring allreduce overlap group k's replicated P drain.  The
-			// hand-off (wait before UpdateSplit) keeps the sequential
-			// measurement semantics: each group's gain stage reads the
-			// drained P, and its backward reads the post-update weights of
-			// the previous group.  Every rank applies the same reduced
-			// buffers, so the replicas stay bit-identical — including
-			// across the rank-failure zero-partial path, whose count gates
-			// are unchanged.
-			var out2 *deepmd.Output
-			fErr := make([]float64, 2) // Σ|ΔF| and component count, for StepInfo
-			if err == nil {
-				out2 = m.Forward(env, true)
-				sum, count := optimize.ForceErrorSum(out2, lab)
-				fErr[0], fErr[1] = sum, float64(count)
-			}
-			for grp := 0; grp < dp.ForceGroups; grp++ {
-				fbuf := make([]float64, nParams+2)
-				if out2 != nil {
-					seedF, fSum, count := optimize.ForceSeed(out2, lab, grp, dp.ForceGroups)
-					copy(fbuf, m.ForceGrad(out2, seedF))
-					fbuf[nParams] = fSum
-					fbuf[nParams+1] = float64(count)
-				}
-				dp.ring.Allreduce(rank, fbuf)
-				if fbuf[nParams+1] > 0 {
-					fabe := fbuf[nParams] / (fbuf[nParams+1] * fDiv)
-					wait()
-					delta, drain := ks.UpdateSplit(fbuf[:nParams], fabe, scale)
-					m.Params.AddFlat(delta)
-					wait = optimize.StartDrain(drain, dp.Pipeline)
-				}
-			}
-
-			// ---- reduce the force-error diagnostic so the distributed
-			// StepInfo matches the single-device contract (batch-global
-			// mean absolute force-component error).  It overlaps the last
-			// group's drain, which is joined before the step returns.
-			dp.ring.AllreduceScalars(rank, fErr)
-			forceABE := 0.0
-			if fErr[1] > 0 {
-				forceABE = fErr[0] / fErr[1]
-			}
-			infos[rank] = optimize.StepInfo{
-				EnergyABE: abe,
-				ForceABE:  forceABE,
-			}
-			wait()
-			if out2 != nil {
-				out2.Graph.Release()
-			}
+			infos[rank], errs[rank] = RankStep(dp.ring, rank, dp.replicas[rank], dp.states[rank], p,
+				ds, chunkOf(idx, rank, r), inject)
 		}(w)
 	}
 	wg.Wait()

@@ -1,0 +1,35 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"fekf/internal/online"
+)
+
+// BenchmarkFleetScaling sweeps the replica count and measures one lockstep
+// fleet step (per-replica minibatch sampling, ring funnel-aggregation and
+// the shared Kalman update on every replica).  The simulation shares one
+// host, so wall time grows with N; the interesting outputs are the modeled
+// wire bytes (reported by -v stats) and the invariant holding at scale.
+func BenchmarkFleetScaling(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			ds, f := newTestFleet(b, n, Config{Seed: 42, Gate: online.GateConfig{Enabled: false}})
+			for i := 0; i < 4*n; i++ {
+				if ok, err := f.Ingest(ds.Snapshots[i%ds.Len()]); !ok || err != nil {
+					b.Fatalf("ingest %d: %v %v", i, ok, err)
+				}
+			}
+			f.drainAll()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.step()
+			}
+			b.StopTimer()
+			if f.WeightDrift() != 0 || f.PDrift() != 0 {
+				b.Fatalf("drift at %d replicas: %g / %g", n, f.WeightDrift(), f.PDrift())
+			}
+		})
+	}
+}

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/md"
+	"fekf/internal/online"
+	"fekf/internal/optimize"
+)
+
+// ReplicaCheckpoint is one replica's private shard state: its replay
+// buffer (with RNG position), gate and stream counters.  The model and
+// Kalman filter are deliberately absent — under the fleet invariant they
+// are bitwise identical across replicas, so the checkpoint stores the
+// shared state exactly once.
+type ReplicaCheckpoint struct {
+	ID             int
+	Alive          bool
+	FramesAccepted int64
+	FramesGatedOut int64
+	Replay         *online.ReplayCheckpoint
+	Gate           *online.GateCheckpoint
+}
+
+// Checkpoint is the combined on-disk state of a fleet: the shared model
+// stream and optimizer state (stored once — the consistency invariant
+// makes per-replica copies redundant), plus each replica's private replay
+// buffer, gate and counters.
+type Checkpoint struct {
+	System      string
+	Species     []md.Species
+	NumAtoms    int64
+	Steps       int64
+	ShardPolicy ShardPolicy
+	RR          uint64 // round-robin shard cursor
+
+	Model    []byte // shared deepmd model stream (Model.EncodeTo)
+	Opt      *optimize.FEKFCheckpoint
+	Replicas []*ReplicaCheckpoint
+}
+
+// encodeModel serializes a model into the shared checkpoint stream.
+func encodeModel(m *deepmd.Model) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.EncodeTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeModelOn rebuilds a model from its checkpoint stream onto dev.
+func decodeModelOn(b []byte, dev *device.Device) (*deepmd.Model, error) {
+	m, err := deepmd.DecodeModel(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	if dev != nil {
+		m.Dev = dev
+	}
+	return m, nil
+}
+
+// buildCheckpoint captures the fleet state, taking the shared model and
+// filter from the first live replica (any would do — they are bitwise
+// identical).  Conductor goroutine only (or after the loop has exited).
+func (f *Fleet) buildCheckpoint() (*Checkpoint, error) {
+	live := f.liveIDs()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("fleet: no live replica to checkpoint the shared state from")
+	}
+	src := f.reps[live[0]]
+	modelBytes, err := encodeModel(src.model)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{
+		System:      f.system,
+		Species:     f.species,
+		NumAtoms:    f.naPer.Load(),
+		Steps:       f.steps.Load(),
+		ShardPolicy: f.cfg.ShardPolicy,
+		RR:          f.rr.Load(),
+		Model:       modelBytes,
+		Opt:         src.opt.Checkpoint(),
+	}
+	for _, r := range f.reps {
+		ck.Replicas = append(ck.Replicas, &ReplicaCheckpoint{
+			ID:             r.id,
+			Alive:          r.alive.Load(),
+			FramesAccepted: r.accepted.Load(),
+			FramesGatedOut: r.gatedOut.Load(),
+			Replay:         r.replay.Checkpoint(),
+			Gate:           r.gate.Checkpoint(),
+		})
+	}
+	return ck, nil
+}
+
+// WriteCheckpoint persists the fleet state crash-safely (temp file, fsync,
+// atomic rename).  Conductor goroutine only; external callers use
+// CheckpointNow or Stop.
+func (f *Fleet) WriteCheckpoint(path string) error {
+	ck, err := f.buildCheckpoint()
+	if err != nil {
+		return err
+	}
+	return online.WriteGobAtomic(path, ck)
+}
+
+func (f *Fleet) writeCheckpointCounted(path string) error {
+	err := f.WriteCheckpoint(path)
+	if err == nil {
+		f.ckWrites.Add(1)
+	}
+	return err
+}
+
+// LoadCheckpoint reads a checkpoint written by WriteCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(fh).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("fleet: decode checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}
+
+// Resume reconstructs a fleet from a checkpoint: every replica gets the
+// shared model weights and full Kalman filter (λ, update counter, every P
+// block — bitwise), plus its own replay buffer with the sampling RNG at
+// the checkpointed position, gate and counters.  The replica count and
+// shard policy come from the checkpoint; cfg supplies the runtime knobs.
+func Resume(ck *Checkpoint, cfg Config) (*Fleet, error) {
+	if len(ck.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: checkpoint has no replicas")
+	}
+	if ck.Opt == nil {
+		return nil, fmt.Errorf("fleet: checkpoint has no optimizer state")
+	}
+	m, err := decodeModelOn(ck.Model, nil)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := optimize.RestoreFEKF(ck.Opt, m)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Replicas = len(ck.Replicas)
+	cfg.ShardPolicy = ck.ShardPolicy
+	proto := &dataset.Dataset{System: ck.System, Species: ck.Species}
+	f, err := New(m, opt, proto, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.naPer.Store(ck.NumAtoms)
+	f.steps.Store(ck.Steps)
+	f.rr.Store(ck.RR)
+	f.lambdaBits.Store(math.Float64bits(opt.Lambda()))
+	for i, rck := range ck.Replicas {
+		r := f.reps[i]
+		r.alive.Store(rck.Alive)
+		r.accepted.Store(rck.FramesAccepted)
+		r.gatedOut.Store(rck.FramesGatedOut)
+		if rck.Replay != nil {
+			r.replay = online.RestoreReplay(rck.Replay)
+			r.replayLen.Store(int64(r.replay.Len()))
+			r.replayWin.Store(int64(r.replay.WindowLen()))
+			r.replayRes.Store(int64(r.replay.ReservoirLen()))
+			r.seen.Store(r.replay.Seen())
+		}
+		if rck.Gate != nil {
+			r.gate = online.RestoreGate(rck.Gate, cfg.Gate)
+			r.gateEMA.Store(math.Float64bits(r.gate.EMA()))
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"fekf/internal/deepmd"
+	"fekf/internal/online"
+)
+
+// A replica crashing mid-step (after its environment build) must leave the
+// survivors bitwise consistent: the crashed rank contributes zero partials
+// but applies the same reduced update, so weights and P cannot diverge.
+func TestReplicaCrashMidStepKeepsConsistency(t *testing.T) {
+	ds, f := newTestFleet(t, 3, Config{Seed: 21, Gate: online.GateConfig{Enabled: false}})
+	for i := 0; i < 12; i++ {
+		if ok, err := f.Ingest(ds.Snapshots[i]); !ok || err != nil {
+			t.Fatalf("ingest %d: %v %v", i, ok, err)
+		}
+	}
+	f.drainAll()
+	f.step() // one healthy step first
+	assertBitwiseConsistent(t, f)
+
+	boom := errors.New("simulated mid-step crash")
+	f.failStep = func(id int, step int64) error {
+		if id == 1 {
+			return boom
+		}
+		return nil
+	}
+	f.step()
+	f.failStep = nil
+
+	if f.Steps() != 2 {
+		t.Fatalf("took %d steps, want 2", f.Steps())
+	}
+	st := f.Stats()
+	if !strings.Contains(st.LastError, "simulated mid-step crash") {
+		t.Fatalf("crash not surfaced in stats: %q", st.LastError)
+	}
+	// the decisive invariant: the crash did not break bitwise consistency,
+	// and training continues cleanly afterwards
+	assertBitwiseConsistent(t, f)
+	f.step()
+	assertBitwiseConsistent(t, f)
+	if f.Steps() != 3 {
+		t.Fatalf("fleet stopped stepping after a replica crash: %d", f.Steps())
+	}
+}
+
+// Killing a replica must drain it from the predict rotation without
+// failing in-flight predictions, keep the survivors training with zero
+// drift, and keep /v1/predict availability throughout.
+func TestKillKeepsPredictAvailability(t *testing.T) {
+	ds, f := newTestFleet(t, 3, Config{
+		SnapshotEvery: 1, TrainIdle: true, Seed: 13, Gate: online.GateConfig{Enabled: false},
+	})
+	f.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := f.Stop(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for i := 0; i < 12; i++ {
+		if ok, err := f.Ingest(ds.Snapshots[i]); !ok || err != nil {
+			t.Fatalf("ingest %d: %v %v", i, ok, err)
+		}
+	}
+	waitSteps := func(atLeast int64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for f.Steps() < atLeast {
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet stuck at step %d waiting for %d (last error %q)",
+					f.Steps(), atLeast, f.Stats().LastError)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitSteps(2)
+
+	// an in-flight prediction holds a snapshot across the kill
+	held := f.Snapshot()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Kill(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Kill(ctx, 1); err == nil {
+		t.Fatal("double kill succeeded")
+	}
+
+	// the held snapshot still serves (immutable clone)
+	env, err := deepmd.BuildBatchEnv(held.Model.Cfg, ds, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := held.Model.Forward(env, true)
+	if out.Energies.Value.Data[0] != out.Energies.Value.Data[0] {
+		t.Fatal("in-flight prediction NaN after kill")
+	}
+	out.Graph.Release()
+
+	// the router stops handing out the dead replica but stays available
+	before := f.reps[1].routed.Load()
+	for i := 0; i < 12; i++ {
+		if f.Snapshot() == nil {
+			t.Fatal("predict availability lost after a kill")
+		}
+	}
+	if got := f.reps[1].routed.Load(); got != before {
+		t.Fatalf("router sent %d predicts to the dead replica", got-before)
+	}
+
+	// survivors keep training, bitwise consistent
+	at := f.Steps()
+	waitSteps(at + 2)
+	st := f.FleetStats()
+	if st.Live != 2 {
+		t.Fatalf("stats report %d live replicas, want 2", st.Live)
+	}
+	if st.WeightDrift != 0 || st.PDrift != 0 {
+		t.Fatalf("survivors drifted: %g / %g", st.WeightDrift, st.PDrift)
+	}
+
+	// ingest keeps flowing, sharded over the survivors only
+	pushed1 := f.reps[1].queue.Pushed()
+	for i := 0; i < 6; i++ {
+		if ok, err := f.Ingest(ds.Snapshots[i]); !ok || err != nil {
+			t.Fatalf("post-kill ingest %d: %v %v", i, ok, err)
+		}
+	}
+	if got := f.reps[1].queue.Pushed(); got != pushed1 {
+		t.Fatalf("sharder sent %d frames to the dead replica", got-pushed1)
+	}
+}
+
+// Rejoin: a revived replica catches up from a survivor's checkpoint of the
+// shared state and is bitwise identical again — drift returns to exactly 0
+// and the router resumes sending it predictions.
+func TestReviveCatchesUpBitwise(t *testing.T) {
+	ds, f := newTestFleet(t, 3, Config{Seed: 17, Gate: online.GateConfig{Enabled: false}})
+	for i := 0; i < 12; i++ {
+		if ok, err := f.Ingest(ds.Snapshots[i]); !ok || err != nil {
+			t.Fatalf("ingest %d: %v %v", i, ok, err)
+		}
+	}
+	f.drainAll()
+	f.step()
+	assertBitwiseConsistent(t, f)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Kill(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	// survivors advance; the dead replica's state goes stale
+	f.step()
+	f.step()
+	assertBitwiseConsistent(t, f) // live-only invariant
+	stale := f.reps[2].model.Params.FlattenValues()
+	fresh := f.reps[0].model.Params.FlattenValues()
+	moved := false
+	for i := range stale {
+		if stale[i] != fresh[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("survivors did not advance past the dead replica")
+	}
+
+	if err := f.Revive(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Revive(ctx, 2); err == nil {
+		t.Fatal("double revive succeeded")
+	}
+	// the revived replica is bitwise identical again, including P and λ
+	assertBitwiseConsistent(t, f)
+	if s := f.reps[2].snap.Load(); s == nil {
+		t.Fatal("revived replica published no snapshot")
+	}
+
+	// and it participates in the next lockstep step without breaking the
+	// invariant (the ring re-forms over all three replicas)
+	f.step()
+	assertBitwiseConsistent(t, f)
+	if st := f.FleetStats(); st.Live != 3 {
+		t.Fatalf("stats report %d live replicas after revive, want 3", st.Live)
+	}
+}
+
+// Revive with no survivor must fail cleanly rather than fabricate state.
+func TestReviveNeedsSurvivor(t *testing.T) {
+	_, f := newTestFleet(t, 2, Config{Seed: 19, Gate: online.GateConfig{Enabled: false}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Kill(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Kill(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Revive(ctx, 0); err == nil {
+		t.Fatal("revive succeeded with no live replica to catch up from")
+	}
+}

@@ -1,0 +1,689 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fekf/internal/cluster"
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/md"
+	"fekf/internal/online"
+	"fekf/internal/optimize"
+)
+
+// ErrNoReplica is returned by Ingest when every replica is dead.
+var ErrNoReplica = errors.New("fleet: no live replica")
+
+// Config controls the fleet.
+type Config struct {
+	// Replicas is the number of model replicas (minimum 1).
+	Replicas int
+	// ShardPolicy selects how ingest frames are partitioned.
+	ShardPolicy ShardPolicy
+	// BatchSize is the per-replica minibatch drawn from each replica's
+	// replay buffer per lockstep step; the global batch is the union.
+	BatchSize int
+	// QueueSize and QueuePolicy bound each per-shard ingest queue.
+	QueueSize   int
+	QueuePolicy online.Policy
+	// WindowSize and ReservoirSize size each replica's replay buffer.
+	WindowSize, ReservoirSize int
+	// MinFrames is the fleet-total replay population required before
+	// stepping starts (defaults to BatchSize).
+	MinFrames int
+	// SnapshotEvery publishes fresh per-replica snapshots every that many
+	// steps (default 8; initial snapshots are published at Start).
+	SnapshotEvery int
+	// CheckpointPath, with CheckpointEvery > 0, receives a crash-safe
+	// fleet checkpoint every CheckpointEvery steps and a final one at Stop.
+	CheckpointPath  string
+	CheckpointEvery int
+	// Gate configures per-replica uncertainty gating.
+	Gate online.GateConfig
+	// TrainIdle keeps stepping on the replay buffers while no new frames
+	// arrive.
+	TrainIdle bool
+	// PollInterval is the conductor's idle wait (default 10ms).
+	PollInterval time.Duration
+	// Seed drives replay sampling; replica i uses Seed+i.
+	Seed int64
+	// OnStep, if non-nil, runs on the conductor after every fleet step.
+	OnStep func(step int64, info optimize.StepInfo)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 8
+	}
+	if c.QueueSize < 1 {
+		c.QueueSize = 256
+	}
+	if c.WindowSize < 1 {
+		c.WindowSize = 256
+	}
+	if c.ReservoirSize < 1 {
+		c.ReservoirSize = 256
+	}
+	if c.MinFrames < 1 {
+		c.MinFrames = c.BatchSize
+	}
+	if c.SnapshotEvery < 1 {
+		c.SnapshotEvery = 8
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Fleet couples N online-trainer replicas through a ring: sharded ingest,
+// funnel-aggregated lockstep steps keeping every replica's weights and P
+// bitwise identical, a snapshot router for predictions, and kill / rejoin
+// with checkpoint catch-up.  One conductor goroutine owns all training
+// state; ingest, routing and stats are safe from any goroutine.
+type Fleet struct {
+	cfg     Config
+	system  string
+	species []md.Species
+	naPer   atomic.Int64
+
+	reps   []*replica
+	router *Router
+
+	// ring over the live replicas, re-formed when membership changes;
+	// retired rings' accounting accumulates into the retired counters.
+	ring        atomic.Pointer[cluster.Ring]
+	ringIDs     []int // conductor-owned: replica id per ring rank
+	retiredWire atomic.Int64
+	retiredOps  atomic.Int64
+
+	rr atomic.Uint64 // round-robin shard cursor
+
+	steps      atomic.Int64
+	lambdaBits atomic.Uint64
+	wDriftBits atomic.Uint64
+	pDriftBits atomic.Uint64
+	ckWrites   atomic.Int64
+	lastErr    atomic.Pointer[string]
+
+	// failStep, when non-nil, injects a per-replica failure into a step
+	// (after the environment build); the failure-path tests use it to
+	// prove a crashing replica cannot make the survivors diverge.
+	failStep func(id int, step int64) error
+
+	ctl      chan func()
+	stop     chan struct{}
+	loopDone chan struct{}
+	started  atomic.Bool
+	stopOnce sync.Once
+}
+
+// New builds a fleet of cfg.Replicas replicas cloned from an initialized
+// model and a prototype FEKF optimizer (its hyper-parameters — and Kalman
+// state, if any — are replicated bitwise).  proto supplies the system name
+// and species table every streamed frame must match.
+func New(m *deepmd.Model, opt *optimize.FEKF, proto *dataset.Dataset, cfg Config) (*Fleet, error) {
+	if m == nil || opt == nil {
+		return nil, fmt.Errorf("fleet: New needs a model and an optimizer")
+	}
+	if proto == nil || len(proto.Species) == 0 {
+		return nil, fmt.Errorf("fleet: New needs a prototype dataset with a species table")
+	}
+	if len(proto.Species) != m.Cfg.NumSpecies {
+		return nil, fmt.Errorf("fleet: prototype has %d species, model wants %d", len(proto.Species), m.Cfg.NumSpecies)
+	}
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:     cfg,
+		system:  proto.System,
+		species: proto.Species,
+
+		ctl:      make(chan func()),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		r, err := newReplica(i, m, opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.reps = append(f.reps, r)
+	}
+	f.router = &Router{f: f}
+	if proto.Len() > 0 {
+		f.naPer.Store(int64(proto.Snapshots[0].NumAtoms()))
+	}
+	f.lambdaBits.Store(math.Float64bits(f.reps[0].opt.Lambda()))
+	return f, nil
+}
+
+// Species returns the species table frames and predictions must use.
+func (f *Fleet) Species() []md.Species { return f.species }
+
+// System returns the physical system name.
+func (f *Fleet) System() string { return f.system }
+
+// NumAtoms returns the per-frame atom count the fleet is locked to, or 0
+// before the first frame fixes it.
+func (f *Fleet) NumAtoms() int { return int(f.naPer.Load()) }
+
+// Replicas returns the configured replica count.
+func (f *Fleet) Replicas() int { return len(f.reps) }
+
+// Router returns the predict-tier snapshot router.
+func (f *Fleet) Router() *Router { return f.router }
+
+// Steps returns the number of completed lockstep steps.
+func (f *Fleet) Steps() int64 { return f.steps.Load() }
+
+// liveIDs returns the ids of the live replicas, in id order.
+func (f *Fleet) liveIDs() []int {
+	ids := make([]int, 0, len(f.reps))
+	for _, r := range f.reps {
+		if r.alive.Load() {
+			ids = append(ids, r.id)
+		}
+	}
+	return ids
+}
+
+// Ingest validates one labelled frame, shards it to a live replica's queue
+// and reports whether it was accepted (false without error means dropped
+// by queue policy).  Safe from any goroutine.
+func (f *Fleet) Ingest(s dataset.Snapshot) (bool, error) {
+	if err := online.ValidateFrame(&s, f.species, int(f.naPer.Load())); err != nil {
+		return false, err
+	}
+	f.naPer.CompareAndSwap(0, int64(s.NumAtoms()))
+	id := f.shardOf(&s)
+	if id < 0 {
+		return false, ErrNoReplica
+	}
+	return f.reps[id].queue.Push(s)
+}
+
+// Snapshot returns a model snapshot through the predict router: the next
+// healthy replica in rotation, falling back to the freshest published
+// snapshot when no replica is healthy.  Never nil after Start.
+func (f *Fleet) Snapshot() *online.ModelSnapshot { return f.router.Snapshot() }
+
+// Start publishes the initial snapshots and launches the conductor.
+func (f *Fleet) Start() {
+	if !f.started.CompareAndSwap(false, true) {
+		return
+	}
+	step := f.steps.Load()
+	for _, r := range f.reps {
+		r.publish(step)
+	}
+	go f.loop()
+}
+
+// Stop shuts the fleet down gracefully: the shard queues close (rejecting
+// new frames), the conductor finishes its in-flight step and drains the
+// live replicas' backlogs through their gates, final snapshots are
+// published and — when CheckpointPath is set — a final fleet checkpoint
+// written.  ctx bounds the wait.
+func (f *Fleet) Stop(ctx context.Context) error {
+	if !f.started.Load() {
+		return fmt.Errorf("fleet: Stop before Start")
+	}
+	f.stopOnce.Do(func() {
+		for _, r := range f.reps {
+			r.queue.Close()
+		}
+		close(f.stop)
+	})
+	select {
+	case <-f.loopDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// The conductor has exited: this goroutine now owns the state.
+	step := f.steps.Load()
+	for _, r := range f.reps {
+		if r.alive.Load() {
+			r.publish(step)
+		}
+	}
+	if f.cfg.CheckpointPath != "" {
+		return f.WriteCheckpoint(f.cfg.CheckpointPath)
+	}
+	return nil
+}
+
+// do runs fn with exclusive ownership of the training state: on the
+// conductor between steps while the loop runs, inline otherwise.
+func (f *Fleet) do(ctx context.Context, fn func() error) error {
+	if !f.started.Load() {
+		return fn()
+	}
+	reply := make(chan error, 1)
+	select {
+	case f.ctl <- func() { reply <- fn() }:
+	case <-f.loopDone:
+		return fn()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Kill marks a replica dead: the sharder and the predict router stop
+// routing to it, and the next step re-forms the ring over the survivors.
+// Frames already queued on its shard stay buffered for catch-up at rejoin.
+// In-flight predictions served from its snapshot complete normally
+// (snapshots are immutable).
+func (f *Fleet) Kill(ctx context.Context, id int) error {
+	return f.do(ctx, func() error {
+		if id < 0 || id >= len(f.reps) {
+			return fmt.Errorf("fleet: no replica %d", id)
+		}
+		if !f.reps[id].alive.Load() {
+			return fmt.Errorf("fleet: replica %d is already dead", id)
+		}
+		f.reps[id].alive.Store(false)
+		return nil
+	})
+}
+
+// Revive rejoins a dead replica through checkpoint catch-up: the shared
+// state (model weights + full Kalman filter) is checkpointed from a live
+// survivor and restored into the replica, which therefore rejoins bitwise
+// identical — drift is exactly zero again — and then drains its backlog
+// queue on the next conductor pass.
+func (f *Fleet) Revive(ctx context.Context, id int) error {
+	return f.do(ctx, func() error {
+		if id < 0 || id >= len(f.reps) {
+			return fmt.Errorf("fleet: no replica %d", id)
+		}
+		r := f.reps[id]
+		if r.alive.Load() {
+			return fmt.Errorf("fleet: replica %d is already live", id)
+		}
+		live := f.liveIDs()
+		if len(live) == 0 {
+			return fmt.Errorf("fleet: no live replica to catch up from")
+		}
+		src := f.reps[live[0]]
+		modelBytes, err := encodeModel(src.model)
+		if err != nil {
+			return fmt.Errorf("fleet: checkpoint survivor %d: %w", src.id, err)
+		}
+		if err := r.restoreShared(modelBytes, src.opt.Checkpoint()); err != nil {
+			return err
+		}
+		r.alive.Store(true)
+		r.publish(f.steps.Load())
+		return nil
+	})
+}
+
+// CheckpointNow asks the conductor to write a fleet checkpoint to
+// CheckpointPath between steps and waits for the result.
+func (f *Fleet) CheckpointNow(ctx context.Context) error {
+	if f.cfg.CheckpointPath == "" {
+		return fmt.Errorf("fleet: no CheckpointPath configured")
+	}
+	return f.do(ctx, func() error { return f.writeCheckpointCounted(f.cfg.CheckpointPath) })
+}
+
+// loop is the conductor: drain shards → gate → replay → lockstep step →
+// publish, with control requests (kill / revive / checkpoint) executed
+// between steps.
+func (f *Fleet) loop() {
+	defer close(f.loopDone)
+	for {
+		select {
+		case <-f.stop:
+			f.drainFinal()
+			return
+		case fn := <-f.ctl:
+			fn()
+			continue
+		default:
+		}
+		got := f.drainAll()
+		ready := f.replayTotal() >= f.cfg.MinFrames
+		if got == 0 && !(f.cfg.TrainIdle && ready) {
+			select {
+			case <-f.stop:
+				f.drainFinal()
+				return
+			case fn := <-f.ctl:
+				fn()
+			case <-time.After(f.cfg.PollInterval):
+			}
+			continue
+		}
+		if ready && (got > 0 || f.cfg.TrainIdle) {
+			f.step()
+		}
+	}
+}
+
+// drainAll moves every queued frame of every live replica through its gate
+// into its replay buffer, returning the number of frames drained.
+func (f *Fleet) drainAll() int {
+	got := 0
+	for _, r := range f.reps {
+		if !r.alive.Load() {
+			continue
+		}
+		for {
+			s, ok := r.queue.Pop(0)
+			if !ok {
+				break
+			}
+			f.admit(r, s)
+			got++
+		}
+	}
+	return got
+}
+
+// drainFinal is the graceful-stop drain: everything still queued on live
+// shards flows into the replay buffers so the final checkpoint sees it.
+func (f *Fleet) drainFinal() { f.drainAll() }
+
+// replayTotal sums the live replicas' replay populations.
+func (f *Fleet) replayTotal() int {
+	total := 0
+	for _, r := range f.reps {
+		if r.alive.Load() {
+			total += r.replay.Len()
+		}
+	}
+	return total
+}
+
+// ensureRing returns the collective ring over the given live set,
+// re-forming it (and retiring the old ring's accounting) when membership
+// changed since the last step.
+func (f *Fleet) ensureRing(live []int) *cluster.Ring {
+	ring := f.ring.Load()
+	if ring != nil && equalIDs(f.ringIDs, live) {
+		return ring
+	}
+	if ring != nil {
+		f.retiredWire.Add(ring.WireBytes())
+		f.retiredOps.Add(ring.Ops())
+	}
+	ring = cluster.NewRing(len(live), cluster.RoCE25())
+	f.ringIDs = append(f.ringIDs[:0], live...)
+	f.ring.Store(ring)
+	return ring
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// step runs one lockstep fleet iteration: every live replica samples a
+// private minibatch from its own replay buffer, all ranks funnel-aggregate
+// gradients and ABE over the ring, and every rank applies the identical
+// reduced Kalman update — so weights and P stay bitwise identical across
+// the fleet (asserted by the drift invariants it refreshes afterwards).
+// Conductor goroutine only.
+func (f *Fleet) step() {
+	live := f.liveIDs()
+	if len(live) == 0 {
+		return
+	}
+	type share struct {
+		ds  *dataset.Dataset
+		idx []int
+	}
+	shares := make([]share, len(live))
+	total := 0
+	na := int(f.naPer.Load())
+	for k, id := range live {
+		batch := f.reps[id].replay.Sample(f.cfg.BatchSize)
+		if len(batch) == 0 {
+			continue // empty replica: zero-partial contribution
+		}
+		idx := make([]int, len(batch))
+		for i := range idx {
+			idx[i] = i
+		}
+		shares[k] = share{
+			ds:  &dataset.Dataset{System: f.system, Species: f.species, Snapshots: batch},
+			idx: idx,
+		}
+		total += len(batch)
+		if na == 0 {
+			na = batch[0].NumAtoms()
+		}
+	}
+	if total == 0 {
+		return
+	}
+	ring := f.ensureRing(live)
+	ref := f.reps[live[0]].opt
+	params := cluster.StepParams{
+		Scale:       ref.Factor.Apply(total),
+		EnergyDiv:   ref.EnergyDiv.Value(na),
+		ForceDiv:    ref.ForceDiv.Value(na),
+		ForceGroups: ref.ForceGroups,
+		Pipeline:    ref.Pipeline,
+	}
+	stepNo := f.steps.Load()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(live))
+	infos := make([]optimize.StepInfo, len(live))
+	for k, id := range live {
+		wg.Add(1)
+		go func(rank, id int) {
+			defer wg.Done()
+			r := f.reps[id]
+			var inject func() error
+			if f.failStep != nil {
+				inject = func() error { return f.failStep(id, stepNo) }
+			}
+			infos[rank], errs[rank] = cluster.RankStep(ring, rank, r.model, r.opt.State(), params,
+				shares[rank].ds, shares[rank].idx, inject)
+		}(k, id)
+	}
+	wg.Wait()
+
+	n := f.steps.Add(1)
+	f.lambdaBits.Store(math.Float64bits(ref.Lambda()))
+	if err := errors.Join(errs...); err != nil {
+		f.setErr(fmt.Errorf("step %d: %w", n, err))
+	}
+	f.updateInvariants(live)
+	if f.cfg.OnStep != nil {
+		f.cfg.OnStep(n, infos[0])
+	}
+	if n%int64(f.cfg.SnapshotEvery) == 0 {
+		for _, id := range live {
+			f.reps[id].publish(n)
+		}
+	}
+	if f.cfg.CheckpointEvery > 0 && f.cfg.CheckpointPath != "" && n%int64(f.cfg.CheckpointEvery) == 0 {
+		if err := f.writeCheckpointCounted(f.cfg.CheckpointPath); err != nil {
+			f.setErr(fmt.Errorf("checkpoint: %w", err))
+		}
+	}
+}
+
+// updateInvariants refreshes the fleet's consistency gauges: the maximum
+// absolute weight difference and P difference between the first live
+// replica and every other live replica.  Both must be exactly zero under
+// the funnel-aggregated schedule.
+func (f *Fleet) updateInvariants(live []int) {
+	ref := f.reps[live[0]]
+	refW := ref.model.Params.FlattenValues()
+	wd, pd := 0.0, 0.0
+	for _, id := range live[1:] {
+		w := f.reps[id].model.Params.FlattenValues()
+		for i := range w {
+			if d := math.Abs(w[i] - refW[i]); d > wd {
+				wd = d
+			}
+		}
+		if d := ref.opt.State().PDrift(f.reps[id].opt.State()); d > pd {
+			pd = d
+		}
+	}
+	f.wDriftBits.Store(math.Float64bits(wd))
+	f.pDriftBits.Store(math.Float64bits(pd))
+}
+
+// WeightDrift returns the last step's maximum absolute weight difference
+// between live replicas (exactly 0 under the fleet invariant).
+func (f *Fleet) WeightDrift() float64 { return math.Float64frombits(f.wDriftBits.Load()) }
+
+// PDrift returns the last step's maximum absolute covariance difference
+// between live replicas (exactly 0 under the fleet invariant).
+func (f *Fleet) PDrift() float64 { return math.Float64frombits(f.pDriftBits.Load()) }
+
+func (f *Fleet) setErr(err error) {
+	s := err.Error()
+	f.lastErr.Store(&s)
+}
+
+// ReplicaStats is one replica's row in the fleet stats.
+type ReplicaStats struct {
+	ID             int     `json:"id"`
+	Alive          bool    `json:"alive"`
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCapacity  int     `json:"queue_capacity"`
+	FramesQueued   int64   `json:"frames_queued"`
+	FramesDropped  int64   `json:"frames_dropped"`
+	FramesAccepted int64   `json:"frames_accepted"`
+	FramesGatedOut int64   `json:"frames_gated_out"`
+	ReplaySize     int64   `json:"replay_size"`
+	GateEMA        float64 `json:"gate_ema"`
+	SnapshotStep   int64   `json:"snapshot_step"`
+	SnapshotAgeMs  int64   `json:"snapshot_age_ms"`
+	PredictsRouted int64   `json:"predicts_routed"`
+}
+
+// Stats is the fleet-level observable state served at /v1/stats.
+type Stats struct {
+	Replicas      int            `json:"replicas"`
+	Live          int            `json:"live"`
+	ShardPolicy   string         `json:"shard_policy"`
+	Steps         int64          `json:"steps"`
+	Lambda        float64        `json:"lambda"`
+	WeightDrift   float64        `json:"weight_drift"`
+	PDrift        float64        `json:"p_drift"`
+	RingWireBytes int64          `json:"ring_wire_bytes"`
+	RingOps       int64          `json:"ring_ops"`
+	Replica       []ReplicaStats `json:"replica"`
+}
+
+// FleetStats returns the per-replica view; safe from any goroutine.
+func (f *Fleet) FleetStats() Stats {
+	st := Stats{
+		Replicas:    len(f.reps),
+		ShardPolicy: f.cfg.ShardPolicy.String(),
+		Steps:       f.steps.Load(),
+		Lambda:      math.Float64frombits(f.lambdaBits.Load()),
+		WeightDrift: f.WeightDrift(),
+		PDrift:      f.PDrift(),
+	}
+	st.RingWireBytes = f.retiredWire.Load()
+	st.RingOps = f.retiredOps.Load()
+	if ring := f.ring.Load(); ring != nil {
+		st.RingWireBytes += ring.WireBytes()
+		st.RingOps += ring.Ops()
+	}
+	for _, r := range f.reps {
+		rs := ReplicaStats{
+			ID:             r.id,
+			Alive:          r.alive.Load(),
+			QueueDepth:     r.queue.Depth(),
+			QueueCapacity:  r.queue.Cap(),
+			FramesQueued:   r.queue.Pushed(),
+			FramesDropped:  r.queue.Dropped(),
+			FramesAccepted: r.accepted.Load(),
+			FramesGatedOut: r.gatedOut.Load(),
+			ReplaySize:     r.replayLen.Load(),
+			GateEMA:        math.Float64frombits(r.gateEMA.Load()),
+			PredictsRouted: r.routed.Load(),
+		}
+		if s := r.snap.Load(); s != nil {
+			rs.SnapshotStep = s.Step
+			rs.SnapshotAgeMs = time.Since(s.Published).Milliseconds()
+		}
+		if rs.Alive {
+			st.Live++
+		}
+		st.Replica = append(st.Replica, rs)
+	}
+	return st
+}
+
+// Stats aggregates the fleet into the flat trainer-stats shape shared with
+// the single-trainer backend; safe from any goroutine.
+func (f *Fleet) Stats() online.Stats {
+	forceGroups := f.reps[0].opt.ForceGroups
+	st := online.Stats{
+		System:        f.system,
+		Steps:         f.steps.Load(),
+		Lambda:        math.Float64frombits(f.lambdaBits.Load()),
+		KalmanUpdates: f.steps.Load() * int64(1+forceGroups),
+		Checkpoints:   f.ckWrites.Load(),
+	}
+	var emaSum float64
+	var emaN int64
+	for _, r := range f.reps {
+		st.QueueDepth += r.queue.Depth()
+		st.QueueCapacity += r.queue.Cap()
+		st.FramesQueued += r.queue.Pushed()
+		st.FramesDropped += r.queue.Dropped()
+		st.FramesAccepted += r.accepted.Load()
+		st.FramesGatedOut += r.gatedOut.Load()
+		st.FramesSeen += r.seen.Load()
+		st.ReplaySize += r.replayLen.Load()
+		st.ReplayWindowLen += r.replayWin.Load()
+		st.ReplayReservoirLen += r.replayRes.Load()
+		st.ReplayCapacity += int64(f.cfg.WindowSize + f.cfg.ReservoirSize)
+		if r.alive.Load() {
+			emaSum += math.Float64frombits(r.gateEMA.Load())
+			emaN++
+		}
+	}
+	if emaN > 0 {
+		st.GateEMA = emaSum / float64(emaN)
+	}
+	if st.ReplayCapacity > 0 {
+		st.ReplayOccupancy = float64(st.ReplaySize) / float64(st.ReplayCapacity)
+	}
+	if scored := st.FramesAccepted + st.FramesGatedOut; scored > 0 {
+		st.GateAcceptRate = float64(st.FramesAccepted) / float64(scored)
+	}
+	if s := f.router.freshest(); s != nil {
+		st.SnapshotStep = s.Step
+		st.SnapshotAgeMs = time.Since(s.Published).Milliseconds()
+	}
+	if e := f.lastErr.Load(); e != nil {
+		st.LastError = *e
+	}
+	return st
+}

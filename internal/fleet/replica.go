@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"fekf/internal/dataset"
+	"fekf/internal/deepmd"
+	"fekf/internal/device"
+	"fekf/internal/online"
+	"fekf/internal/optimize"
+)
+
+// replica is one member of the fleet: a full model + Kalman filter pair
+// (bitwise identical to every other live replica's), plus the private
+// per-shard ingest state — queue, gate, replay buffer — and the published
+// copy-on-write snapshot the predict router reads.
+//
+// The model, optimizer, gate and replay buffer are owned by the fleet's
+// conductor goroutine; the queue, the snapshot pointer and the mirrored
+// atomic counters are the concurrent surface.
+type replica struct {
+	id    int
+	dev   *device.Device
+	model *deepmd.Model
+	opt   *optimize.FEKF
+
+	queue  *online.Queue
+	replay *online.ReplayBuffer
+	gate   *online.Gate
+
+	snap  atomic.Pointer[online.ModelSnapshot]
+	alive atomic.Bool
+
+	// mirrored observability (written by the conductor / router, read by
+	// Stats from any goroutine)
+	accepted  atomic.Int64
+	gatedOut  atomic.Int64
+	seen      atomic.Int64
+	replayLen atomic.Int64
+	replayWin atomic.Int64
+	replayRes atomic.Int64
+	gateEMA   atomic.Uint64
+	routed    atomic.Int64
+}
+
+// newReplica clones the prototype model and optimizer onto a fresh
+// simulated device and builds the replica's private shard state.
+func newReplica(id int, m *deepmd.Model, opt *optimize.FEKF, cfg Config) (*replica, error) {
+	dev := device.New(fmt.Sprintf("fleet%d", id), device.A100())
+	model := m.CloneFor(dev)
+	ropt, err := optimize.RestoreFEKF(opt.Checkpoint(), model)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %d optimizer: %w", id, err)
+	}
+	// Eager state: NewKalmanState is deterministic (P = I), so replicas
+	// built this way start bit-identical even before the first step, and
+	// the gate has a P diagonal to score against immediately.
+	ropt.InitState(model)
+	r := &replica{
+		id:     id,
+		dev:    dev,
+		model:  model,
+		opt:    ropt,
+		queue:  online.NewQueue(cfg.QueueSize, cfg.QueuePolicy),
+		replay: online.NewReplay(cfg.WindowSize, cfg.ReservoirSize, cfg.Seed+int64(id)),
+		gate:   online.NewGate(cfg.Gate),
+	}
+	r.alive.Store(true)
+	return r, nil
+}
+
+// admit runs one frame through the replica's gate into its replay buffer.
+// Conductor goroutine only.
+func (f *Fleet) admit(r *replica, s dataset.Snapshot) {
+	scratch := &dataset.Dataset{System: f.system, Species: f.species, Snapshots: []dataset.Snapshot{s}}
+	ok, _, err := r.gate.Admit(r.model, r.opt.PDiagonal(), scratch, 0)
+	if err != nil {
+		f.setErr(fmt.Errorf("replica %d gate: %w", r.id, err))
+		return
+	}
+	r.gateEMA.Store(math.Float64bits(r.gate.EMA()))
+	if !ok {
+		r.gatedOut.Add(1)
+		return
+	}
+	r.replay.Add(s)
+	r.accepted.Add(1)
+	r.replayLen.Store(int64(r.replay.Len()))
+	r.replayWin.Store(int64(r.replay.WindowLen()))
+	r.replayRes.Store(int64(r.replay.ReservoirLen()))
+	r.seen.Store(r.replay.Seen())
+}
+
+// publish swaps in a fresh copy-on-write snapshot of the replica's model.
+// Conductor goroutine only (the clone must see quiescent weights).
+func (r *replica) publish(step int64) {
+	r.snap.Store(&online.ModelSnapshot{
+		Model:     r.model.Clone(),
+		Step:      step,
+		Lambda:    r.opt.Lambda(),
+		Published: time.Now(),
+	})
+}
+
+// restoreShared replaces the replica's model and filter with the shared
+// state carried by a fleet checkpoint — the rejoin/catch-up path.
+// Conductor goroutine only.
+func (r *replica) restoreShared(modelBytes []byte, opt *optimize.FEKFCheckpoint) error {
+	m, err := decodeModelOn(modelBytes, r.dev)
+	if err != nil {
+		return fmt.Errorf("fleet: replica %d model: %w", r.id, err)
+	}
+	ropt, err := optimize.RestoreFEKF(opt, m)
+	if err != nil {
+		return fmt.Errorf("fleet: replica %d optimizer: %w", r.id, err)
+	}
+	ropt.InitState(m)
+	r.model, r.opt = m, ropt
+	return nil
+}

@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"fekf/internal/dataset"
+)
+
+// ShardPolicy selects how the ingest sharder assigns a frame to a replica.
+type ShardPolicy int
+
+const (
+	// RoundRobin rotates frames across the live replicas — uniform load,
+	// no affinity.
+	RoundRobin ShardPolicy = iota
+	// HashShard routes by a content hash of the frame's coordinates, so a
+	// configuration revisited by the producer lands on the same replica
+	// (stable affinity while membership is stable).
+	HashShard
+)
+
+// String names the policy as accepted by ParseShardPolicy.
+func (p ShardPolicy) String() string {
+	if p == HashShard {
+		return "hash"
+	}
+	return "round-robin"
+}
+
+// ParseShardPolicy parses a shard policy name: round-robin | hash.
+func ParseShardPolicy(s string) (ShardPolicy, error) {
+	switch strings.ToLower(s) {
+	case "round-robin", "roundrobin", "rr", "":
+		return RoundRobin, nil
+	case "hash":
+		return HashShard, nil
+	}
+	return RoundRobin, fmt.Errorf("fleet: unknown shard policy %q", s)
+}
+
+// frameHash is a content hash over the frame's coordinates (FNV-1a on the
+// raw float bits), the HashShard routing key.
+func frameHash(s *dataset.Snapshot) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, x := range s.Pos {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// shardOf picks the target replica for a frame among the currently live
+// replicas, or -1 when none is live.  Dead replicas are skipped so a
+// killed replica's shard is redistributed instead of piling up behind it.
+func (f *Fleet) shardOf(s *dataset.Snapshot) int {
+	live := f.liveIDs()
+	if len(live) == 0 {
+		return -1
+	}
+	switch f.cfg.ShardPolicy {
+	case HashShard:
+		return live[frameHash(s)%uint64(len(live))]
+	default:
+		return live[(f.rr.Add(1)-1)%uint64(len(live))]
+	}
+}

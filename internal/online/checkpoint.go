@@ -66,7 +66,7 @@ func (t *Trainer) WriteCheckpoint(path string) error {
 	if err != nil {
 		return err
 	}
-	return writeGobAtomic(path, ck)
+	return WriteGobAtomic(path, ck)
 }
 
 // LoadCheckpoint reads a checkpoint written by WriteCheckpoint.
@@ -115,10 +115,14 @@ func ResumeTrainer(ck *Checkpoint, dev *device.Device, cfg TrainerConfig) (*Trai
 	t.accepted.Store(ck.FramesAccepted)
 	t.lambdaBits.Store(math.Float64bits(opt.Lambda()))
 	if ck.Replay != nil {
-		// reseed the sampling stream off the step counter so a resumed
-		// trainer does not replay the original seed's draw sequence
-		t.replay = RestoreReplay(ck.Replay, cfg.Seed+ck.Steps+1)
+		// the sampling stream resumes at the checkpointed RNG state, so
+		// the resumed trainer draws exactly the minibatch sequence the
+		// uninterrupted one would have
+		t.replay = RestoreReplay(ck.Replay)
 		t.replayLen.Store(int64(t.replay.Len()))
+		t.replayWin.Store(int64(t.replay.WindowLen()))
+		t.replayRes.Store(int64(t.replay.ReservoirLen()))
+		t.replayCap.Store(int64(ck.Replay.WindowCap + ck.Replay.ResCap))
 		t.seen.Store(t.replay.Seen())
 	}
 	if ck.Gate != nil {
@@ -128,10 +132,10 @@ func ResumeTrainer(ck *Checkpoint, dev *device.Device, cfg TrainerConfig) (*Trai
 	return t, nil
 }
 
-// writeGobAtomic writes v gob-encoded to path via a fsynced temp file and
+// WriteGobAtomic writes v gob-encoded to path via a fsynced temp file and
 // an atomic rename, so a crash mid-write never corrupts an existing
-// checkpoint.
-func writeGobAtomic(path string, v any) error {
+// checkpoint.  Shared by the trainer and fleet checkpoint writers.
+func WriteGobAtomic(path string, v any) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-")
 	if err != nil {
 		return err

@@ -1,8 +1,6 @@
 package online
 
 import (
-	"math/rand"
-
 	"fekf/internal/dataset"
 )
 
@@ -14,7 +12,11 @@ import (
 // so online training keeps revisiting old configurations while tracking
 // new ones.
 //
-// The buffer is not goroutine-safe: it is owned by the trainer loop.
+// The buffer is not goroutine-safe: it is owned by the trainer loop.  Its
+// random stream is an injectable per-buffer sampleRNG (never a shared or
+// package-global source), so replicated trainers each draw a private,
+// seed-determined sequence and checkpoints capture the stream position —
+// see ReplayCheckpoint.RNG.
 type ReplayBuffer struct {
 	window []dataset.Snapshot // ring buffer of the newest frames
 	wHead  int                // index of the oldest window entry
@@ -24,7 +26,7 @@ type ReplayBuffer struct {
 	resCap    int
 	seen      int64 // frames ever offered to the reservoir
 
-	rng *rand.Rand
+	rng *sampleRNG
 }
 
 // NewReplay returns a buffer with the given window and reservoir
@@ -39,7 +41,7 @@ func NewReplay(windowSize, reservoirSize int, seed int64) *ReplayBuffer {
 	return &ReplayBuffer{
 		window: make([]dataset.Snapshot, windowSize),
 		resCap: reservoirSize,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    newSampleRNG(seed),
 	}
 }
 
@@ -103,6 +105,10 @@ type ReplayCheckpoint struct {
 	Reservoir []dataset.Snapshot
 	ResCap    int
 	Seen      int64
+	// RNG is the sampling stream's SplitMix64 state; restoring it makes
+	// the resumed buffer draw exactly the sequence the uninterrupted one
+	// would have.
+	RNG uint64
 }
 
 // Checkpoint copies the buffer contents for persistence (snapshot slices
@@ -112,6 +118,7 @@ func (rb *ReplayBuffer) Checkpoint() *ReplayCheckpoint {
 		WindowCap: len(rb.window),
 		ResCap:    rb.resCap,
 		Seen:      rb.seen,
+		RNG:       rb.rng.State(),
 		Reservoir: append([]dataset.Snapshot(nil), rb.reservoir...),
 	}
 	for i := 0; i < rb.wLen; i++ {
@@ -120,10 +127,12 @@ func (rb *ReplayBuffer) Checkpoint() *ReplayCheckpoint {
 	return ck
 }
 
-// RestoreReplay rebuilds a buffer from a checkpoint with a fresh sampling
-// stream seeded by seed.
-func RestoreReplay(ck *ReplayCheckpoint, seed int64) *ReplayBuffer {
-	rb := NewReplay(ck.WindowCap, ck.ResCap, seed)
+// RestoreReplay rebuilds a buffer from a checkpoint, resuming the sampling
+// stream at the checkpointed SplitMix64 state: the restored buffer's next
+// draw is bitwise the draw the uninterrupted buffer would have made.
+func RestoreReplay(ck *ReplayCheckpoint) *ReplayBuffer {
+	rb := NewReplay(ck.WindowCap, ck.ResCap, 0)
+	rb.rng = restoreSampleRNG(ck.RNG)
 	for _, s := range ck.Window {
 		if rb.wLen < len(rb.window) {
 			rb.window[rb.wLen] = s

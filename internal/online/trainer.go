@@ -111,6 +111,9 @@ type Trainer struct {
 	accepted   atomic.Int64
 	gatedOut   atomic.Int64
 	replayLen  atomic.Int64
+	replayWin  atomic.Int64
+	replayRes  atomic.Int64
+	replayCap  atomic.Int64
 	seen       atomic.Int64
 	ckWrites   atomic.Int64
 	lastErr    atomic.Pointer[string]
@@ -156,6 +159,7 @@ func NewTrainer(m *deepmd.Model, opt *optimize.FEKF, proto *dataset.Dataset, cfg
 	if proto.Len() > 0 {
 		t.naPer.Store(int64(proto.Snapshots[0].NumAtoms()))
 	}
+	t.replayCap.Store(int64(cfg.WindowSize + cfg.ReservoirSize))
 	t.lambdaBits.Store(math.Float64bits(opt.Lambda()))
 	return t, nil
 }
@@ -176,12 +180,20 @@ func (t *Trainer) Config() deepmd.Config { return t.model.Cfg }
 // ValidateFrame checks a frame's structure against the trainer's system:
 // consistent atom count, coordinate/force lengths, species range and box.
 func (t *Trainer) ValidateFrame(s *dataset.Snapshot) error {
+	return ValidateFrame(s, t.species, int(t.naPer.Load()))
+}
+
+// ValidateFrame checks a streamed frame's structure against a species table
+// and an expected per-frame atom count (0 accepts any count — the first
+// frame then fixes it).  Shared by the single trainer and the fleet's
+// sharded ingest.
+func ValidateFrame(s *dataset.Snapshot, species []md.Species, wantAtoms int) error {
 	na := s.NumAtoms()
 	if na == 0 {
 		return fmt.Errorf("online: frame has no atoms")
 	}
-	if want := t.naPer.Load(); want != 0 && int64(na) != want {
-		return fmt.Errorf("online: frame has %d atoms, trainer wants %d", na, want)
+	if wantAtoms != 0 && na != wantAtoms {
+		return fmt.Errorf("online: frame has %d atoms, trainer wants %d", na, wantAtoms)
 	}
 	if len(s.Pos) != 3*na {
 		return fmt.Errorf("online: frame has %d coordinates for %d atoms", len(s.Pos), na)
@@ -190,8 +202,8 @@ func (t *Trainer) ValidateFrame(s *dataset.Snapshot) error {
 		return fmt.Errorf("online: frame has %d force components for %d atoms", len(s.Forces), na)
 	}
 	for i, ty := range s.Types {
-		if ty < 0 || ty >= len(t.species) {
-			return fmt.Errorf("online: atom %d has species %d, table holds %d", i, ty, len(t.species))
+		if ty < 0 || ty >= len(species) {
+			return fmt.Errorf("online: atom %d has species %d, table holds %d", i, ty, len(species))
 		}
 	}
 	for d, b := range s.Box {
@@ -338,6 +350,8 @@ func (t *Trainer) admit(s dataset.Snapshot) {
 	t.replay.Add(s)
 	t.accepted.Add(1)
 	t.replayLen.Store(int64(t.replay.Len()))
+	t.replayWin.Store(int64(t.replay.WindowLen()))
+	t.replayRes.Store(int64(t.replay.ReservoirLen()))
 	t.seen.Store(t.replay.Seen())
 }
 
@@ -412,11 +426,20 @@ type Stats struct {
 	FramesAccepted int64   `json:"frames_accepted"`
 	FramesSeen     int64   `json:"frames_seen"`
 	GateEMA        float64 `json:"gate_ema"`
+	// GateAcceptRate is the fraction of gate-scored frames admitted so far
+	// (accepted / (accepted + gated out); 0 before any frame arrives).
+	GateAcceptRate float64 `json:"gate_accept_rate"`
 	ReplaySize     int64   `json:"replay_size"`
-	SnapshotStep   int64   `json:"snapshot_step"`
-	SnapshotAgeMs  int64   `json:"snapshot_age_ms"`
-	Checkpoints    int64   `json:"checkpoints_written"`
-	LastError      string  `json:"last_error,omitempty"`
+	// Replay-buffer occupancy: window and reservoir fill, the combined
+	// capacity, and the filled fraction of that capacity.
+	ReplayWindowLen    int64   `json:"replay_window_len"`
+	ReplayReservoirLen int64   `json:"replay_reservoir_len"`
+	ReplayCapacity     int64   `json:"replay_capacity"`
+	ReplayOccupancy    float64 `json:"replay_occupancy"`
+	SnapshotStep       int64   `json:"snapshot_step"`
+	SnapshotAgeMs      int64   `json:"snapshot_age_ms"`
+	Checkpoints        int64   `json:"checkpoints_written"`
+	LastError          string  `json:"last_error,omitempty"`
 }
 
 // Stats returns a consistent-enough view assembled from atomics; safe from
@@ -436,7 +459,17 @@ func (t *Trainer) Stats() Stats {
 		FramesSeen:     t.seen.Load(),
 		GateEMA:        math.Float64frombits(t.gateEMA.Load()),
 		ReplaySize:     t.replayLen.Load(),
-		Checkpoints:    t.ckWrites.Load(),
+
+		ReplayWindowLen:    t.replayWin.Load(),
+		ReplayReservoirLen: t.replayRes.Load(),
+		ReplayCapacity:     t.replayCap.Load(),
+		Checkpoints:        t.ckWrites.Load(),
+	}
+	if st.ReplayCapacity > 0 {
+		st.ReplayOccupancy = float64(st.ReplaySize) / float64(st.ReplayCapacity)
+	}
+	if scored := st.FramesAccepted + st.FramesGatedOut; scored > 0 {
+		st.GateAcceptRate = float64(st.FramesAccepted) / float64(scored)
 	}
 	if s := t.snap.Load(); s != nil {
 		st.SnapshotStep = s.Step

@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"fmt"
+	"math"
 
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
@@ -77,6 +78,31 @@ func (ks *KalmanState) PDiagonal() []float64 {
 		}
 	}
 	return out
+}
+
+// PDrift returns the maximum absolute element-wise difference between this
+// filter's covariance blocks and other's — the replicated-fleet invariant
+// checked after every distributed step (zero when the funnel-aggregated
+// no-P-communication schedule holds).  A structural mismatch (different
+// block count or shapes, or a nil other) reports +Inf.  Neither state may
+// have a covariance drain in flight.
+func (ks *KalmanState) PDrift(other *KalmanState) float64 {
+	if other == nil || len(ks.P) != len(other.P) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range ks.P {
+		a, b := ks.P[i].Data, other.P[i].Data
+		if len(a) != len(b) {
+			return math.Inf(1)
+		}
+		for j := range a {
+			if d := math.Abs(a[j] - b[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
 }
 
 // FEKFCheckpoint is the serializable state of a FEKF optimizer: the

@@ -100,6 +100,18 @@ func (f *FEKF) Name() string { return f.name }
 // experiment harness for memory and block-structure reporting.
 func (f *FEKF) State() *KalmanState { return f.ks }
 
+// InitState creates the Kalman state ahead of the first Step and returns
+// it (a no-op once initialized).  Fleet replicas initialize their filters
+// eagerly so the distributed step and the shared-state checkpoint can
+// address P before any local Step has run; NewKalmanState is
+// deterministic, so eagerly-built replicas start bit-identical.
+func (f *FEKF) InitState(m *deepmd.Model) *KalmanState {
+	if f.ks == nil {
+		f.ks = NewKalmanState(f.KCfg, m.Params.LayerSizes(), m.Dev)
+	}
+	return f.ks
+}
+
 // Step implements Optimizer: one energy measurement update followed by
 // ForceGroups force measurement updates, all on batch-reduced gradients
 // and errors (the funnel dataflow of Figure 3(b)).

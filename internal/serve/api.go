@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"fekf/internal/dataset"
+	"fekf/internal/fleet"
 	"fekf/internal/online"
 )
 
@@ -86,14 +87,16 @@ type HealthResponse struct {
 	SnapshotStep int64  `json:"snapshot_step"`
 }
 
-// StatsResponse is the /v1/stats body: trainer stats plus server-side
-// serving counters.
+// StatsResponse is the /v1/stats body: aggregated trainer stats plus
+// server-side serving counters, and — when the backend is a fleet — the
+// per-replica fleet view (health, queue depth, drift, snapshot age).
 type StatsResponse struct {
 	online.Stats
-	PredictRequests int64 `json:"predict_requests"`
-	PredictBatches  int64 `json:"predict_batches"`
-	FrameRequests   int64 `json:"frame_requests"`
-	UptimeMs        int64 `json:"uptime_ms"`
+	PredictRequests int64        `json:"predict_requests"`
+	PredictBatches  int64        `json:"predict_batches"`
+	FrameRequests   int64        `json:"frame_requests"`
+	UptimeMs        int64        `json:"uptime_ms"`
+	Fleet           *fleet.Stats `json:"fleet,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope.

@@ -10,9 +10,35 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fekf/internal/dataset"
+	"fekf/internal/fleet"
 	"fekf/internal/md"
 	"fekf/internal/online"
 )
+
+// Backend is the training engine behind the HTTP API — satisfied by both
+// the single *online.Trainer and the replicated *fleet.Fleet, so the same
+// server fronts either.
+type Backend interface {
+	// Ingest validates and enqueues one labelled frame (false without
+	// error means dropped by queue policy).
+	Ingest(s dataset.Snapshot) (bool, error)
+	// Snapshot returns the latest published model snapshot (never nil
+	// after the backend has started).
+	Snapshot() *online.ModelSnapshot
+	// Species returns the species table requests must use.
+	Species() []md.Species
+	// Stats returns the aggregated trainer-stats view.
+	Stats() online.Stats
+	// Stop shuts the backend down gracefully.
+	Stop(ctx context.Context) error
+}
+
+// FleetStatser is the optional per-replica stats surface a fleet backend
+// adds to /v1/stats (replica health, queue depths, drift, snapshot ages).
+type FleetStatser interface {
+	FleetStats() fleet.Stats
+}
 
 // Config controls the HTTP server.
 type Config struct {
@@ -54,16 +80,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server wires the online trainer and the prediction batcher into an HTTP
-// API:
+// Server wires a training backend (single trainer or fleet) and the
+// prediction batcher into an HTTP API:
 //
 //	POST /v1/predict  energy/forces from the latest snapshot (micro-batched)
 //	POST /v1/frames   labelled-frame ingest into the trainer queue
 //	GET  /healthz     liveness + snapshot provenance
-//	GET  /v1/stats    queue depth, snapshot age, λ, counters
+//	GET  /v1/stats    queue depth, snapshot age, λ, counters (+ per-replica
+//	                  fleet rows when the backend is a fleet)
 type Server struct {
 	cfg Config
-	tr  *online.Trainer
+	be  Backend
 	bat *Batcher
 
 	http  *http.Server
@@ -74,14 +101,15 @@ type Server struct {
 	frameN   atomic.Int64
 }
 
-// New builds a server around a trainer (which the caller has Started or
-// will Start; Shutdown stops it).
-func New(tr *online.Trainer, cfg Config) *Server {
+// New builds a server around a backend (which the caller has Started or
+// will Start; Shutdown stops it).  A *fleet.Fleet backend routes every
+// prediction through its snapshot router.
+func New(be Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		tr:    tr,
-		bat:   NewBatcher(tr.Snapshot, cfg.MaxBatch, cfg.BatchWindow, cfg.BatchWorkers),
+		be:    be,
+		bat:   NewBatcher(be.Snapshot, cfg.MaxBatch, cfg.BatchWindow, cfg.BatchWorkers),
 		start: time.Now(),
 	}
 	mux := http.NewServeMux()
@@ -126,17 +154,17 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown drains gracefully: stop accepting requests and wait for
-// handlers, stop the prediction batcher, then stop the trainer — which
-// drains its queue and writes the final checkpoint.
+// handlers, stop the prediction batcher, then stop the backend — which
+// drains its queues and writes the final checkpoint.
 func (s *Server) Shutdown(ctx context.Context) error {
 	httpErr := s.http.Shutdown(ctx)
 	s.bat.Stop()
-	trErr := s.tr.Stop(ctx)
-	return errors.Join(httpErr, trErr)
+	beErr := s.be.Stop(ctx)
+	return errors.Join(httpErr, beErr)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	st := s.tr.Stats()
+	st := s.be.Stats()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:       "ok",
 		System:       st.System,
@@ -146,13 +174,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Stats:           s.tr.Stats(),
+	resp := StatsResponse{
+		Stats:           s.be.Stats(),
 		PredictRequests: s.predictN.Load(),
 		PredictBatches:  s.bat.Batches(),
 		FrameRequests:   s.frameN.Load(),
 		UptimeMs:        time.Since(s.start).Milliseconds(),
-	})
+	}
+	if fs, ok := s.be.(FleetStatser); ok {
+		fst := fs.FleetStats()
+		resp.Fleet = &fst
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
@@ -167,10 +200,13 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := FramesResponse{}
 	for i := range req.Frames {
-		ok, err := s.tr.Ingest(req.Frames[i].Snapshot())
+		ok, err := s.be.Ingest(req.Frames[i].Snapshot())
 		switch {
 		case errors.Is(err, online.ErrClosed):
 			writeErr(w, http.StatusServiceUnavailable, "trainer is shutting down")
+			return
+		case errors.Is(err, fleet.ErrNoReplica):
+			writeErr(w, http.StatusServiceUnavailable, "no live replica to ingest into")
 			return
 		case err != nil:
 			writeErr(w, http.StatusBadRequest, fmt.Sprintf("frame %d: %v", i, err))
@@ -181,7 +217,7 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 			resp.Dropped++
 		}
 	}
-	resp.QueueDepth = s.tr.Stats().QueueDepth
+	resp.QueueDepth = s.be.Stats().QueueDepth
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -195,7 +231,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	species := s.tr.Species()
+	species := s.be.Species()
 	for i, ty := range req.Types {
 		if ty < 0 || ty >= len(species) {
 			writeErr(w, http.StatusBadRequest, fmt.Sprintf("atom %d has species %d, table holds %d", i, ty, len(species)))

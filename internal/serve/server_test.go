@@ -14,6 +14,7 @@ import (
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
+	"fekf/internal/fleet"
 	"fekf/internal/online"
 	"fekf/internal/optimize"
 )
@@ -256,5 +257,179 @@ func TestServerGracefulShutdown(t *testing.T) {
 	// the listener is closed: new requests fail
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("server still accepting connections after Shutdown")
+	}
+}
+
+// The /v1/stats payload must expose the replay-buffer occupancy and gate
+// acceptance-rate fields, and they must reconcile with the traffic.
+func TestStatsReplayAndGateFields(t *testing.T) {
+	ds, _, srv := serveSetup(t,
+		online.TrainerConfig{BatchSize: 2, MinFrames: 2, WindowSize: 8, ReservoirSize: 8, Seed: 5,
+			Gate: online.GateConfig{Enabled: false}},
+		Config{})
+	base := "http://" + srv.Addr()
+
+	req := FramesRequest{}
+	for i := 0; i < 6; i++ {
+		req.Frames = append(req.Frames, framePayload(ds, i))
+	}
+	var fresp FramesResponse
+	if code, err := postJSON(t, base+"/v1/frames", req, &fresp); err != nil || code != http.StatusOK {
+		t.Fatalf("frames: %d %v", code, err)
+	}
+
+	// wait for the trainer loop to drain the queue through the gate
+	deadline := time.Now().Add(30 * time.Second)
+	var stats StatsResponse
+	for {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if stats.FramesAccepted >= 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("frames never drained: %+v", stats.Stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stats.ReplayCapacity != 16 {
+		t.Fatalf("replay capacity %d, want 16 (window 8 + reservoir 8)", stats.ReplayCapacity)
+	}
+	if stats.ReplaySize == 0 || stats.ReplayWindowLen == 0 {
+		t.Fatalf("replay occupancy fields empty: %+v", stats.Stats)
+	}
+	want := float64(stats.ReplaySize) / float64(stats.ReplayCapacity)
+	if stats.ReplayOccupancy != want {
+		t.Fatalf("replay occupancy %v, want %v", stats.ReplayOccupancy, want)
+	}
+	if stats.GateAcceptRate != 1 {
+		t.Fatalf("gate accept rate %v with the gate disabled, want 1", stats.GateAcceptRate)
+	}
+	// raw JSON carries the new field names
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, key := range []string{"replay_occupancy", "replay_capacity", "replay_window_len", "replay_reservoir_len", "gate_accept_rate"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("/v1/stats JSON missing %q", key)
+		}
+	}
+	if _, ok := raw["fleet"]; ok {
+		t.Fatal("single-trainer stats carry a fleet section")
+	}
+}
+
+// The same server must front a fleet backend: ingest shards across the
+// replicas, predictions ride the snapshot router, and /v1/stats grows the
+// per-replica fleet section.
+func TestServerFleetBackend(t *testing.T) {
+	ds, err := dataset.Generate("Cu", dataset.GenOptions{
+		Snapshots: 16, SampleEvery: 4, EquilSteps: 25, Tiny: true, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	m, err := deepmd.NewModel(deepmd.TinyConfig(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Level = deepmd.OptAll
+	m.Dev = device.New("serve-fleet-test", device.A100())
+	if err := m.InitFromDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	opt := optimize.NewFEKF()
+	opt.KCfg = opt.KCfg.WithOpt3()
+	fl, err := fleet.New(m, opt, ds, fleet.Config{
+		Replicas: 3, BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, TrainIdle: true, Seed: 5,
+		Gate: online.GateConfig{Enabled: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Start()
+	srv := New(fl, Config{})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	base := "http://" + srv.Addr()
+
+	req := FramesRequest{}
+	for i := 0; i < 9; i++ {
+		req.Frames = append(req.Frames, framePayload(ds, i))
+	}
+	var fresp FramesResponse
+	if code, err := postJSON(t, base+"/v1/frames", req, &fresp); err != nil || code != http.StatusOK {
+		t.Fatalf("frames: %d %v", code, err)
+	}
+	if fresp.Accepted != 9 {
+		t.Fatalf("fleet accepted %d frames, want 9", fresp.Accepted)
+	}
+
+	s := ds.Snapshots[0]
+	var presp PredictResponse
+	if code, err := postJSON(t, base+"/v1/predict",
+		PredictRequest{Pos: s.Pos, Box: s.Box, Types: s.Types}, &presp); err != nil || code != http.StatusOK {
+		t.Fatalf("predict: %d %v", code, err)
+	}
+	if presp.Energy != presp.Energy || len(presp.Forces) != len(s.Forces) {
+		t.Fatal("fleet predict returned an incomplete response")
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var stats StatsResponse
+	for {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if stats.Steps >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet made no progress: %+v", stats.Stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stats.Fleet == nil {
+		t.Fatal("/v1/stats has no fleet section for a fleet backend")
+	}
+	if stats.Fleet.Replicas != 3 || stats.Fleet.Live != 3 || len(stats.Fleet.Replica) != 3 {
+		t.Fatalf("fleet stats: %+v", stats.Fleet)
+	}
+	if stats.Fleet.ShardPolicy != "round-robin" {
+		t.Fatalf("fleet shard policy %q", stats.Fleet.ShardPolicy)
+	}
+	if stats.Fleet.WeightDrift != 0 || stats.Fleet.PDrift != 0 {
+		t.Fatalf("fleet drift over HTTP: %g / %g", stats.Fleet.WeightDrift, stats.Fleet.PDrift)
+	}
+	var queued int64
+	for _, rs := range stats.Fleet.Replica {
+		queued += rs.FramesQueued
+	}
+	if queued != 9 {
+		t.Fatalf("per-replica rows account %d queued frames, want 9", queued)
 	}
 }

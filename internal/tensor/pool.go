@@ -27,6 +27,8 @@ package tensor
 // serial execution (see DESIGN.md, "Host worker pool").
 
 import (
+	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -54,14 +56,23 @@ func init() {
 }
 
 // defaultWorkers resolves the initial pool size: FEKF_WORKERS if set and
-// positive, else GOMAXPROCS.
-func defaultWorkers() int {
+// positive, else GOMAXPROCS.  An invalid FEKF_WORKERS value is not
+// silently ignored: a warning naming the bad value and the fallback goes
+// to stderr.
+func defaultWorkers() int { return defaultWorkersTo(os.Stderr) }
+
+// defaultWorkersTo is defaultWorkers with an injectable warning sink (the
+// unit tests capture it).
+func defaultWorkersTo(warn io.Writer) int {
+	fallback := runtime.GOMAXPROCS(0)
 	if s := os.Getenv("FEKF_WORKERS"); s != "" {
 		if n, err := strconv.Atoi(s); err == nil && n > 0 {
 			return n
 		}
+		fmt.Fprintf(warn, "fekf: invalid FEKF_WORKERS=%q (want a positive integer); falling back to GOMAXPROCS=%d\n",
+			s, fallback)
 	}
-	return runtime.GOMAXPROCS(0)
+	return fallback
 }
 
 // Workers returns the current worker count used to shard parallel kernels.

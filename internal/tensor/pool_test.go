@@ -1,7 +1,10 @@
 package tensor
 
 import (
+	"bytes"
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -199,4 +202,34 @@ func TestParallelForEmptyAndSingle(t *testing.T) {
 			t.Fatalf("fn called %d times want 1", calls)
 		}
 	})
+}
+
+// An invalid FEKF_WORKERS value must not be silently ignored: the resolver
+// falls back to GOMAXPROCS and says so on its warning sink, naming the bad
+// value and the fallback.
+func TestDefaultWorkersWarnsOnInvalidEnv(t *testing.T) {
+	check := func(env string, want int, wantWarn bool) {
+		t.Helper()
+		t.Setenv("FEKF_WORKERS", env)
+		var buf bytes.Buffer
+		if got := defaultWorkersTo(&buf); got != want {
+			t.Fatalf("FEKF_WORKERS=%q resolved to %d workers, want %d", env, got, want)
+		}
+		if wantWarn {
+			msg := buf.String()
+			if !strings.Contains(msg, "FEKF_WORKERS") || !strings.Contains(msg, env) ||
+				!strings.Contains(msg, "GOMAXPROCS") {
+				t.Fatalf("FEKF_WORKERS=%q warning does not name the bad value and fallback: %q", env, msg)
+			}
+		} else if buf.Len() != 0 {
+			t.Fatalf("FEKF_WORKERS=%q warned unexpectedly: %q", env, buf.String())
+		}
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	check("banana", gmp, true) // not a number
+	check("-2", gmp, true)     // not positive
+	check("0", gmp, true)      // not positive
+	check("3.5", gmp, true)    // not an integer
+	check("3", 3, false)       // valid: used silently
+	check("", gmp, false)      // unset-equivalent: silent fallback
 }
