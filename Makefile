@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-pipeline race-online race-fleet fuzz bench bench-fleet fmt serve-smoke
+.PHONY: ci vet test race race-pipeline race-online race-fleet race-transport fuzz bench bench-fleet bench-transport fmt serve-smoke
 
-ci: vet test race race-pipeline race-online race-fleet fuzz bench-fleet serve-smoke
+ci: vet test race race-pipeline race-online race-fleet race-transport fuzz bench-fleet bench-transport serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,15 @@ race-online:
 race-fleet:
 	$(GO) test -race -timeout 20m -count=1 ./internal/fleet
 
+# The TCP ring transport runs four goroutines per endpoint (accept, read,
+# heartbeat, plus the caller) against shared connection state, reconnect
+# and abort paths.  Soak the wire protocol and the chan-vs-TCP bitwise
+# equivalence sweeps under the race detector.
+race-transport:
+	$(GO) test -race -timeout 20m -count=1 ./internal/cluster/tcptransport
+	$(GO) test -race -timeout 20m -count=1 -run 'TCP|ChanVsTCP|Transport|Sever|Reconnect' \
+		./internal/cluster ./internal/fleet
+
 # End-to-end smoke of cmd/serve: boot a trainer+server on a random port,
 # stream MD frames at it, require training steps and a checkpoint, shut
 # down gracefully and prove the checkpoint resumes λ and P bitwise.  The
@@ -53,6 +62,8 @@ race-fleet:
 serve-smoke:
 	$(GO) run ./cmd/serve -smoke
 	$(GO) run ./cmd/serve -smoke -replicas 3
+	$(GO) run ./cmd/serve -smoke -replicas 3 -transport tcp
+	$(GO) run ./cmd/serve -smoke-transport
 
 # Short fuzz pass over the kernels whose parallel==serial bitwise contract
 # the pipeline relies on (go test runs one fuzz target per invocation).
@@ -70,6 +81,12 @@ bench:
 # per iteration in ci as a smoke, without -benchtime for real numbers.
 bench-fleet:
 	$(GO) test ./internal/fleet -run '^$$' -bench FleetScaling -benchtime 1x
+
+# In-process channel transport vs. TCP loopback on the same 3-rank
+# allreduce: the delta is the real socket cost the modeled RoCE numbers
+# abstract away.  Run once per iteration in ci as a smoke.
+bench-transport:
+	$(GO) test ./internal/cluster -run '^$$' -bench AllreduceTransport -benchtime 1x
 
 fmt:
 	gofmt -l .

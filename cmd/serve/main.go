@@ -13,19 +13,25 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"fekf/internal/cluster"
+	"fekf/internal/cluster/tcptransport"
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
@@ -61,8 +67,12 @@ func main() {
 		mdPeriod   = flag.Duration("md-period", 100*time.Millisecond, "delay between MD client frames")
 		replicas   = flag.Int("replicas", 1, "fleet replica count (>1 runs the replicated online fleet)")
 		shardPol   = flag.String("shard-policy", "round-robin", "fleet ingest sharding: round-robin | hash")
+		transport  = flag.String("transport", "chan", "fleet ring transport: chan (in-process) | tcp (loopback sockets)")
+		peers      = flag.String("peers", "", "comma-separated ring listen addresses, rank order; runs this process as one rank of a cross-process TCP ring (own slot may be host:0)")
+		rank       = flag.Int("rank", 0, "this process's rank within -peers")
 		seed       = flag.Int64("seed", 1, "random seed")
 		smoke      = flag.Bool("smoke", false, "self-test: random port, MD frames, predicts, graceful shutdown, kill→restart resume (with -replicas N>1: fleet kill/revive + drift checks)")
+		smokeTr    = flag.Bool("smoke-transport", false, "2-process TCP ring self-test: spawn a peer process, run deterministic allreduces over real sockets, compare checksums bitwise, and exit")
 	)
 	flag.Parse()
 	tensor.SetWorkers(*workers)
@@ -72,9 +82,26 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 
+	if *peers != "" {
+		crc, err := runRingWorker(*peers, *rank, *seed, -1)
+		if err != nil {
+			log.Fatalf("serve: ring worker: %v", err)
+		}
+		fmt.Printf("TRANSPORT_SUM %016x\n", crc)
+		return
+	}
+
+	if *smokeTr {
+		if err := runTransportSmoke(*seed); err != nil {
+			log.Fatalf("serve: TRANSPORT SMOKE FAILED: %v", err)
+		}
+		fmt.Println("TRANSPORT SMOKE OK")
+		return
+	}
+
 	if *smoke {
 		if *replicas > 1 {
-			err = runFleetSmoke(*system, *seed, *replicas, shard)
+			err = runFleetSmoke(*system, *seed, *replicas, shard, *transport)
 		} else {
 			err = runSmoke(*system, *seed)
 		}
@@ -106,6 +133,7 @@ func main() {
 			Gate:            gateConfig(*gateOn, *gateThresh),
 			TrainIdle:       *trainIdle,
 			Seed:            *seed,
+			Transport:       *transport,
 		}
 		fl, err := buildFleet(*system, *bootstrap, *seed, *resume, *ckptPath, fcfg)
 		if err != nil {
@@ -456,7 +484,7 @@ func runSmoke(system string, seed int64) error {
 // availability and survivor consistency, rejoin it via checkpoint
 // catch-up, shut down gracefully and resume the whole fleet from its
 // checkpoint.
-func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPolicy) error {
+func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPolicy, transport string) error {
 	dir, err := os.MkdirTemp("", "fekf-fleet-smoke-")
 	if err != nil {
 		return err
@@ -469,6 +497,7 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 		BatchSize: 2, MinFrames: 2, QueueSize: 64, WindowSize: 64, ReservoirSize: 64,
 		SnapshotEvery: 1, CheckpointPath: ckpt, CheckpointEvery: 4,
 		Gate: gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
+		Transport: transport,
 	}
 	fl, err := buildFleet(system, 8, seed, false, "", fcfg)
 	if err != nil {
@@ -481,7 +510,10 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	}
 	base := "http://" + srv.Addr()
 	client := &http.Client{Timeout: 30 * time.Second}
-	log.Printf("fleet smoke: %d replicas (%s sharding) on %s", replicas, shard, base)
+	if transport == "" {
+		transport = "chan"
+	}
+	log.Printf("fleet smoke: %d replicas (%s sharding, %s ring transport) on %s", replicas, shard, transport, base)
 
 	hr, err := client.Get(base + "/healthz")
 	if err != nil {
@@ -530,8 +562,11 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 		return fmt.Errorf("replica drift after %d steps: weights %g, P %g",
 			st.Steps, st.Fleet.WeightDrift, st.Fleet.PDrift)
 	}
-	log.Printf("fleet smoke: %d lockstep steps, λ=%.6f, drift 0/0, %d ring ops (%d bytes)",
-		st.Steps, st.Lambda, st.Fleet.RingOps, st.Fleet.RingWireBytes)
+	if st.Fleet.Transport.Kind != transport || st.Fleet.Transport.BytesSent == 0 {
+		return fmt.Errorf("/v1/stats transport rows wrong for %s ring: %+v", transport, st.Fleet.Transport)
+	}
+	log.Printf("fleet smoke: %d lockstep steps, λ=%.6f, drift 0/0, %d ring ops (%d modeled B; %d measured B over %s)",
+		st.Steps, st.Lambda, st.Fleet.RingOps, st.Fleet.RingWireBytes, st.Fleet.Transport.BytesSent, st.Fleet.Transport.Kind)
 
 	// kill a replica: predicts must keep answering, survivors must keep
 	// stepping with zero drift
@@ -603,6 +638,148 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	}
 	log.Printf("fleet smoke: resumed %d replicas at step %d with identical λ=%.6f",
 		fl2.Replicas(), resumed.Steps, resumed.Lambda)
+	return nil
+}
+
+// The cross-process transport smoke's fixed workload: every rank runs
+// ringRounds deterministic allreduces of ringN elements and folds the
+// reduced vectors into one checksum — allreduce leaves identical data on
+// every rank, so the checksums must match bitwise across processes.
+const (
+	ringRounds = 6
+	ringN      = 512
+	ringID     = "serve-transport-smoke"
+)
+
+// runRingWorker joins a cross-process TCP ring as one rank: bind the
+// rank's listen address (host:0 allocates a port, announced on stdout as
+// "TRANSPORT_ADDR <addr>"), connect the ring, run the deterministic
+// allreduce workload and return its checksum.  cutAt >= 0 severs the
+// rank's outgoing connection before that round, forcing a live reconnect.
+func runRingWorker(peersCSV string, rank int, seed int64, cutAt int) (uint64, error) {
+	peers := strings.Split(peersCSV, ",")
+	size := len(peers)
+	if size < 2 {
+		return 0, fmt.Errorf("ring needs at least 2 peers, got %q", peersCSV)
+	}
+	if rank < 0 || rank >= size {
+		return 0, fmt.Errorf("rank %d out of range for %d peers", rank, size)
+	}
+	ln, err := tcptransport.Listen(peers[rank])
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("TRANSPORT_ADDR %s\n", ln.Addr())
+	next := peers[(rank+1)%size]
+	ep := tcptransport.NewEndpoint(rank, size, ln, next, tcptransport.Options{RingID: ringID})
+	return ringWorkload(ep, rank, seed, cutAt)
+}
+
+// ringWorkload runs the fixed allreduce sequence on one endpoint and
+// checksums the reduced vectors.  Each rank's contribution is derived from
+// (seed, rank, round) alone, so any process can reproduce its share.
+func ringWorkload(ep *tcptransport.Endpoint, rank int, seed int64, cutAt int) (uint64, error) {
+	ring := cluster.NewRingOver(ep, cluster.RoCE25())
+	defer ring.Close()
+	data := make([]float64, ringN)
+	var crc uint64
+	for round := 0; round < ringRounds; round++ {
+		rng := rand.New(rand.NewSource(seed + int64(rank) + 977*int64(round)))
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		if round == cutAt {
+			ep.CutConn(rank)
+		}
+		if err := ring.Allreduce(rank, data); err != nil {
+			return 0, fmt.Errorf("round %d: %w", round, err)
+		}
+		for _, v := range data {
+			crc = crc*1099511628211 + math.Float64bits(v)
+		}
+	}
+	return crc, nil
+}
+
+// runTransportSmoke is the 2-process TCP ring self-test: spawn this same
+// binary as rank 1, exchange listener addresses over stdout, run the
+// deterministic allreduce workload over real sockets — with a mid-run
+// connection cut on rank 0 to exercise the reconnect path — and require
+// bitwise-identical checksums from both processes.
+func runTransportSmoke(seed int64) error {
+	ln0, err := tcptransport.Listen("")
+	if err != nil {
+		return err
+	}
+	addr0 := ln0.Addr().String()
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(exe,
+		"-peers", addr0+",127.0.0.1:0",
+		"-rank", "1",
+		"-seed", fmt.Sprint(seed))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawn peer: %w", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The peer announces its listener before connecting the ring.
+	sc := bufio.NewScanner(stdout)
+	var addr1 string
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "TRANSPORT_ADDR "); ok {
+			addr1 = a
+			break
+		}
+	}
+	if addr1 == "" {
+		return fmt.Errorf("peer never announced its address: %v", sc.Err())
+	}
+	log.Printf("transport smoke: rank 0 on %s, peer rank 1 on %s (pid %d)", addr0, addr1, cmd.Process.Pid)
+
+	ep := tcptransport.NewEndpoint(0, 2, ln0, addr1, tcptransport.Options{RingID: ringID})
+	crc0, err := ringWorkload(ep, 0, seed, ringRounds/2)
+	st := ep.Stats()
+	if err != nil {
+		return fmt.Errorf("rank 0 workload: %w", err)
+	}
+
+	var crc1 uint64
+	haveSum := false
+	for sc.Scan() {
+		if s, ok := strings.CutPrefix(sc.Text(), "TRANSPORT_SUM "); ok {
+			if _, err := fmt.Sscanf(s, "%x", &crc1); err != nil {
+				return fmt.Errorf("parse peer checksum %q: %w", s, err)
+			}
+			haveSum = true
+			break
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("peer process: %w", err)
+	}
+	if !haveSum {
+		return fmt.Errorf("peer never reported a checksum")
+	}
+	if crc0 != crc1 {
+		return fmt.Errorf("checksums differ across processes: %016x vs %016x — the wire is not bitwise transparent", crc0, crc1)
+	}
+	if st.BytesSent == 0 || st.Msgs == 0 {
+		return fmt.Errorf("no measured wire traffic: %+v", st)
+	}
+	if st.Reconnects < 1 {
+		return fmt.Errorf("mid-run cut produced no reconnect: %+v", st)
+	}
+	log.Printf("transport smoke: %d rounds × %d elems bitwise identical across 2 processes (checksum %016x); %d B sent, %d msgs, %d reconnects",
+		ringRounds, ringN, crc0, st.BytesSent, st.Msgs, st.Reconnects)
 	return nil
 }
 

@@ -41,8 +41,17 @@ type DataParallelFEKF struct {
 }
 
 // NewDataParallelFEKF builds a trainer with `workers` ranks replicated
-// from the given model.
+// from the given model, communicating over the in-process channel
+// transport.
 func NewDataParallelFEKF(workers int, m *deepmd.Model) *DataParallelFEKF {
+	return NewDataParallelFEKFOver(NewRing(workers, RoCE25()), m)
+}
+
+// NewDataParallelFEKFOver builds a trainer whose ranks communicate over an
+// existing ring — e.g. one constructed over the TCP-loopback transport or
+// a fault-injecting wrapper.  The trainer has ring.Size() ranks.
+func NewDataParallelFEKFOver(ring *Ring, m *deepmd.Model) *DataParallelFEKF {
+	workers := ring.Size()
 	dp := &DataParallelFEKF{
 		KCfg:        optimize.DefaultKalmanConfig(),
 		Factor:      optimize.FactorSqrtBS,
@@ -50,7 +59,7 @@ func NewDataParallelFEKF(workers int, m *deepmd.Model) *DataParallelFEKF {
 		EnergyDiv:   optimize.DivSqrtAtoms,
 		ForceDiv:    optimize.DivAtoms,
 		Pipeline:    optimize.PipelineDefault(),
-		ring:        NewRing(workers, RoCE25()),
+		ring:        ring,
 	}
 	for w := 0; w < workers; w++ {
 		dev := device.New(fmt.Sprintf("gpu%d", w), device.A100())
@@ -59,6 +68,11 @@ func NewDataParallelFEKF(workers int, m *deepmd.Model) *DataParallelFEKF {
 	}
 	return dp
 }
+
+// SetEnvFail installs (or clears, with nil) the per-rank environment-build
+// failure hook; the cross-transport consistency tests use it to prove a
+// failing rank cannot make the replicas diverge on any transport.
+func (dp *DataParallelFEKF) SetEnvFail(f func(rank int) error) { dp.envFail = f }
 
 // Name implements the optimizer naming convention.
 func (dp *DataParallelFEKF) Name() string {
@@ -164,7 +178,15 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 		buf[nParams] = absSum
 		buf[nParams+1] = float64(len(idx))
 	}
-	ring.Allreduce(rank, buf)
+	if cerr := ring.Allreduce(rank, buf); cerr != nil {
+		// The ring broke mid-collective: the reduced buffer is in an
+		// unspecified partial state and must not be applied.  No Kalman
+		// update has started yet, so the rank's state is untouched.
+		if out != nil {
+			out.Graph.Release()
+		}
+		return optimize.StepInfo{}, fmt.Errorf("energy allreduce: %w", cerr)
+	}
 	abe := 0.0
 	wait := func() {}
 	if buf[nParams+1] > 0 {
@@ -200,7 +222,17 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 			fbuf[nParams] = fSum
 			fbuf[nParams+1] = float64(count)
 		}
-		ring.Allreduce(rank, fbuf)
+		if cerr := ring.Allreduce(rank, fbuf); cerr != nil {
+			// Join the previous group's in-flight P drain before bailing:
+			// the drain mutates the covariance in the background and must
+			// not outlive the step.  The partially reduced buffer is
+			// dropped, so the last completed group's state stands.
+			wait()
+			if out2 != nil {
+				out2.Graph.Release()
+			}
+			return optimize.StepInfo{EnergyABE: abe}, fmt.Errorf("force group %d allreduce: %w", grp, cerr)
+		}
 		if fbuf[nParams+1] > 0 {
 			fabe := fbuf[nParams] / (fbuf[nParams+1] * p.ForceDiv)
 			wait()
@@ -214,7 +246,13 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 	// matches the single-device contract (batch-global mean absolute
 	// force-component error).  It overlaps the last group's drain, which is
 	// joined before the step returns.
-	ring.AllreduceScalars(rank, fErr)
+	if cerr := ring.AllreduceScalars(rank, fErr); cerr != nil {
+		wait()
+		if out2 != nil {
+			out2.Graph.Release()
+		}
+		return optimize.StepInfo{EnergyABE: abe}, fmt.Errorf("force-error allreduce: %w", cerr)
+	}
 	forceABE := 0.0
 	if fErr[1] > 0 {
 		forceABE = fErr[0] / fErr[1]

@@ -1,8 +1,11 @@
 // Package cluster simulates the paper's multi-GPU data-parallel training:
 // worker goroutines stand in for GPU ranks, exchanging gradient chunks
-// over channels with a real ring-allreduce (scatter-reduce + allgather, the
-// Horovod algorithm), while a cost model accounts wire bytes and modeled
-// transfer time on the paper's 25 GB/s RoCE interconnect.
+// over a pluggable Transport with a real ring-allreduce (scatter-reduce +
+// allgather, the Horovod algorithm), while a cost model accounts wire
+// bytes and modeled transfer time on the paper's 25 GB/s RoCE
+// interconnect.  The default transport moves chunks over in-process
+// channels; internal/cluster/tcptransport runs the same schedule over real
+// TCP sockets with deadlines, reconnects and a heartbeat failure detector.
 //
 // The central scalability property being reproduced (Section 3.3): FEKF
 // allreduces only the reduced gradient g and the scalar ABE, never the
@@ -14,7 +17,6 @@ package cluster
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 )
 
@@ -29,13 +31,24 @@ type Interconnect struct {
 // RoCE25 returns the paper's interconnect model.
 func RoCE25() Interconnect { return Interconnect{BytesPerNs: 25, StepLatencyNs: 5000} }
 
-// Ring is an allreduce communicator over r in-process ranks.
+// ringScratch is one rank's reusable collective workspace: the chunk
+// bounds table and the outgoing copy buffer.  Reusing them across
+// collectives keeps the per-step scalar exchange (ABE + counts) off the
+// allocator entirely; the barrier after every ring step guarantees the
+// receiver has consumed the previous buffer before it is overwritten, so
+// the reduction stays bitwise identical to the allocate-per-call schedule.
+type ringScratch struct {
+	bounds [][2]int
+	buf    []float64
+}
+
+// Ring is an allreduce communicator over r ranks.  It owns the collective
+// schedule and the modeled RoCE accounting; message delivery, timeouts and
+// failure detection belong to the Transport.
 type Ring struct {
 	size  int
 	model Interconnect
-
-	// links[i] carries messages from rank i-1 to rank i.
-	links []chan []float64
+	tr    Transport
 
 	wireBytes atomic.Int64
 	// modeled transfer picoseconds accumulated over all operations
@@ -44,31 +57,49 @@ type Ring struct {
 	// regardless of rank count); the pipeline accounting tests assert it
 	// is identical with overlap on and off (no double-charged stages).
 	ops atomic.Int64
-	// barrier support for lockstep phases
-	mu      sync.Mutex
-	arrived int
-	gen     int
-	cond    *sync.Cond
+
+	scratch []ringScratch
 }
 
-// NewRing creates a communicator for size ranks.
+// NewRing creates a communicator for size ranks over the in-process
+// channel transport.
 func NewRing(size int, model Interconnect) *Ring {
+	return NewRingOver(NewChanTransport(size), model)
+}
+
+// NewRingOver creates a communicator running the ring schedule over an
+// arbitrary transport (in-process channels, TCP loopback, a fault-
+// injecting wrapper, ...).  The modeled accounting is transport-
+// independent: it charges the paper's interconnect regardless of what the
+// bytes actually crossed.
+func NewRingOver(tr Transport, model Interconnect) *Ring {
+	size := tr.Size()
 	if size < 1 {
 		panic("cluster: ring size must be >= 1")
 	}
-	r := &Ring{size: size, model: model}
-	r.links = make([]chan []float64, size)
-	for i := range r.links {
-		r.links[i] = make(chan []float64, 1)
+	return &Ring{
+		size:    size,
+		model:   model,
+		tr:      tr,
+		scratch: make([]ringScratch, size),
 	}
-	r.cond = sync.NewCond(&r.mu)
-	return r
 }
 
 // Size returns the number of ranks.
 func (r *Ring) Size() int { return r.size }
 
-// WireBytes returns the total bytes that crossed the (simulated) fabric.
+// Transport exposes the underlying transport (stats, fault injection).
+func (r *Ring) Transport() Transport { return r.tr }
+
+// TransportStats returns the transport's measured traffic counters.
+func (r *Ring) TransportStats() TransportStats { return r.tr.Stats() }
+
+// Close releases the transport's resources (sockets, goroutines).
+func (r *Ring) Close() error { return r.tr.Close() }
+
+// WireBytes returns the total payload bytes that crossed the (modeled)
+// fabric.  The transport's own Stats counts what was measured on the real
+// wire, including framing.
 func (r *Ring) WireBytes() int64 { return r.wireBytes.Load() }
 
 // ModeledNs returns the modeled cumulative communication time of the
@@ -80,29 +111,19 @@ func (r *Ring) ModeledNs() float64 { return float64(r.modeledPs.Load()) / 1000 }
 // free).  Overlapping collectives with compute must not change it.
 func (r *Ring) Ops() int64 { return r.ops.Load() }
 
-// Barrier blocks until every rank has arrived.
-func (r *Ring) Barrier() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	gen := r.gen
-	r.arrived++
-	if r.arrived == r.size {
-		r.arrived = 0
-		r.gen++
-		r.cond.Broadcast()
-		return
+// Barrier blocks rank until every rank has arrived, or fails wrapping
+// ErrRingBroken once the ring is aborted.
+func (r *Ring) Barrier(rank int) error {
+	if r.size == 1 {
+		return nil
 	}
-	for gen == r.gen {
-		r.cond.Wait()
-	}
+	return r.tr.Barrier(rank)
 }
 
 // send transfers a chunk to the next rank and accounts it.
-func (r *Ring) send(rank int, chunk []float64) {
-	next := (rank + 1) % r.size
-	n := int64(len(chunk)) * 8
-	r.wireBytes.Add(n)
-	r.links[next] <- chunk
+func (r *Ring) send(rank int, chunk []float64) error {
+	r.wireBytes.Add(int64(len(chunk)) * 8)
+	return r.tr.Send(rank, chunk)
 }
 
 // accountStep charges the modeled time of one ring step (all ranks move a
@@ -118,15 +139,21 @@ func (r *Ring) accountStep(chunkBytes int64) {
 // Allreduce sums data element-wise across all ranks, in place, using the
 // ring scatter-reduce + allgather schedule.  Every rank must call it with
 // an equal-length slice; the call blocks until the collective completes.
-func (r *Ring) Allreduce(rank int, data []float64) {
+// A non-nil error wraps ErrRingBroken: the ring died mid-collective, data
+// is in an unspecified partial state, and the caller must not apply it.
+func (r *Ring) Allreduce(rank int, data []float64) error {
 	if rank == 0 {
 		r.ops.Add(1)
 	}
 	if r.size == 1 {
-		return
+		return nil
 	}
 	n := len(data)
-	bounds := make([][2]int, r.size)
+	sc := &r.scratch[rank]
+	if cap(sc.bounds) < r.size {
+		sc.bounds = make([][2]int, r.size)
+	}
+	bounds := sc.bounds[:r.size]
 	maxChunk := 0
 	for c := 0; c < r.size; c++ {
 		lo := c * n / r.size
@@ -135,6 +162,9 @@ func (r *Ring) Allreduce(rank int, data []float64) {
 		if hi-lo > maxChunk {
 			maxChunk = hi - lo
 		}
+	}
+	if cap(sc.buf) < maxChunk {
+		sc.buf = make([]float64, maxChunk)
 	}
 	// Every ring step moves all size chunks concurrently (one per rank), so
 	// the step's modeled duration is governed by the largest chunk in
@@ -149,10 +179,15 @@ func (r *Ring) Allreduce(rank int, data []float64) {
 	for s := 0; s < r.size-1; s++ {
 		sendIdx := mod(rank-s, r.size)
 		out := chunkOf(sendIdx)
-		buf := make([]float64, len(out))
+		buf := sc.buf[:len(out)]
 		copy(buf, out)
-		r.send(rank, buf)
-		in := <-r.links[rank]
+		if err := r.send(rank, buf); err != nil {
+			return err
+		}
+		in, err := r.tr.Recv(rank)
+		if err != nil {
+			return err
+		}
 		recvIdx := mod(rank-s-1, r.size)
 		dst := chunkOf(recvIdx)
 		if len(in) != len(dst) {
@@ -164,31 +199,42 @@ func (r *Ring) Allreduce(rank int, data []float64) {
 		if rank == 0 {
 			r.accountStep(maxChunkBytes)
 		}
-		r.Barrier()
+		if err := r.tr.Barrier(rank); err != nil {
+			return err
+		}
 	}
 
 	// allgather: circulate the fully reduced chunks.
 	for s := 0; s < r.size-1; s++ {
 		sendIdx := mod(rank+1-s, r.size)
 		out := chunkOf(sendIdx)
-		buf := make([]float64, len(out))
+		buf := sc.buf[:len(out)]
 		copy(buf, out)
-		r.send(rank, buf)
-		in := <-r.links[rank]
+		if err := r.send(rank, buf); err != nil {
+			return err
+		}
+		in, err := r.tr.Recv(rank)
+		if err != nil {
+			return err
+		}
 		recvIdx := mod(rank-s, r.size)
 		copy(chunkOf(recvIdx), in)
 		if rank == 0 {
 			r.accountStep(maxChunkBytes)
 		}
-		r.Barrier()
+		if err := r.tr.Barrier(rank); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // AllreduceScalars sums a small fixed set of scalars across ranks (the ABE
 // and sample-count exchange, the O(#GPUs) term of the paper's
-// communication analysis).
-func (r *Ring) AllreduceScalars(rank int, vals []float64) {
-	r.Allreduce(rank, vals)
+// communication analysis).  It rides the reusable per-rank scratch, so the
+// per-step scalar hot path is allocation-free after warm-up.
+func (r *Ring) AllreduceScalars(rank int, vals []float64) error {
+	return r.Allreduce(rank, vals)
 }
 
 func mod(a, m int) int {

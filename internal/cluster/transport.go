@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRingBroken is wrapped by every transport operation that fails after
+// the ring has been aborted — a peer died, a message was lost, or a fault
+// was injected.  Collective callers detect it with errors.Is and hand the
+// ring back to the membership layer (the fleet) for re-formation.
+var ErrRingBroken = errors.New("cluster: ring broken")
+
+// TransportStats is the measured (as opposed to modeled) traffic a
+// transport carried: payload bytes in each direction, message counts, and
+// the fault/recovery counters of the wire implementations.  The in-process
+// channel transport only moves payloads, so its retry and reconnect
+// counters stay zero; the TCP transport counts framing bytes, send
+// retries, reconnects, heartbeats and detected peer failures.
+type TransportStats struct {
+	Kind         string `json:"kind"`
+	BytesSent    int64  `json:"bytes_sent"`
+	BytesRecv    int64  `json:"bytes_recv"`
+	Msgs         int64  `json:"msgs"`
+	Retries      int64  `json:"retries"`
+	Reconnects   int64  `json:"reconnects"`
+	Heartbeats   int64  `json:"heartbeats"`
+	PeerFailures int64  `json:"peer_failures"`
+}
+
+// Add accumulates other into s (used when retiring rings).
+func (s *TransportStats) Add(other TransportStats) {
+	if s.Kind == "" {
+		s.Kind = other.Kind
+	}
+	s.BytesSent += other.BytesSent
+	s.BytesRecv += other.BytesRecv
+	s.Msgs += other.Msgs
+	s.Retries += other.Retries
+	s.Reconnects += other.Reconnects
+	s.Heartbeats += other.Heartbeats
+	s.PeerFailures += other.PeerFailures
+}
+
+// Transport moves length-prefixed float64 chunks between the ranks of one
+// ring and synchronizes them with a barrier.  The Ring owns the collective
+// schedule (which chunk moves when) and the modeled RoCE accounting; the
+// transport owns delivery, timeouts, retries and failure detection.
+//
+// Buffer contract: a chunk passed to Send may be reused by the caller only
+// after the rank's next successful Barrier; the slice returned by Recv is
+// valid only until the rank's next Recv.  The ring schedule (send, recv,
+// consume, barrier) satisfies both.
+type Transport interface {
+	// Size returns the rank count of the ring.
+	Size() int
+	// Send delivers chunk to rank's ring successor.
+	Send(rank int, chunk []float64) error
+	// Recv returns the next data chunk sent by rank's ring predecessor.
+	Recv(rank int) ([]float64, error)
+	// Barrier blocks until every rank has arrived, or fails wrapping
+	// ErrRingBroken once the ring is aborted.
+	Barrier(rank int) error
+	// Abort declares rank dead (rank < 0: unattributed) and breaks the
+	// ring: every blocked and future operation fails with ErrRingBroken.
+	Abort(rank int, cause error)
+	// Dead returns the ranks declared dead so far, in detection order.
+	Dead() []int
+	// Stats returns the measured traffic counters.
+	Stats() TransportStats
+	// Close releases the transport's resources (sockets, goroutines).
+	Close() error
+}
+
+// ConnCutter is the optional transient-fault surface of a connection-
+// oriented transport: CutConn severs rank's outgoing connection without
+// declaring anyone dead, so the next send exercises the reconnect path.
+type ConnCutter interface {
+	CutConn(rank int)
+}
+
+// brokenError wraps a ring-break cause so errors.Is(err, ErrRingBroken)
+// holds while the original cause stays visible.
+type brokenError struct{ cause error }
+
+func (e *brokenError) Error() string { return ErrRingBroken.Error() + ": " + e.cause.Error() }
+func (e *brokenError) Is(target error) bool {
+	return target == ErrRingBroken || errors.Is(e.cause, target)
+}
+func (e *brokenError) Unwrap() error { return e.cause }
+
+// ChanTransport is the in-process transport: rank links are buffered Go
+// channels and the barrier is a shared condition variable — the exact
+// mechanism the pre-transport Ring used, refactored behind the interface
+// with zero behavior change on the healthy path.  Abort releases every
+// blocked sender, receiver and barrier waiter with ErrRingBroken.
+type ChanTransport struct {
+	size int
+	// links[i] carries chunks from rank i-1 to rank i.
+	links []chan []float64
+	// recvTimeout, when > 0, bounds each Recv; expiry declares the rank's
+	// predecessor dead (it owed the message) and breaks the ring.  The
+	// default 0 waits forever — the legacy lossless in-process behavior.
+	recvTimeout time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	gen      int
+	broken   bool
+	cause    error
+	dead     []int
+	brokenCh chan struct{}
+
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	msgs      atomic.Int64
+}
+
+// NewChanTransport builds the in-process channel transport for size ranks.
+func NewChanTransport(size int) *ChanTransport {
+	if size < 1 {
+		panic("cluster: transport size must be >= 1")
+	}
+	t := &ChanTransport{
+		size:     size,
+		links:    make([]chan []float64, size),
+		brokenCh: make(chan struct{}),
+	}
+	for i := range t.links {
+		t.links[i] = make(chan []float64, 1)
+	}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// SetRecvTimeout bounds every subsequent Recv (0 restores blocking
+// forever).  Intended for fault-injection tests; call before use.
+func (t *ChanTransport) SetRecvTimeout(d time.Duration) { t.recvTimeout = d }
+
+// Size returns the rank count.
+func (t *ChanTransport) Size() int { return t.size }
+
+func (t *ChanTransport) err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cause := t.cause
+	if cause == nil {
+		cause = errors.New("aborted")
+	}
+	return &brokenError{cause: cause}
+}
+
+// Send delivers chunk to rank's successor, failing once the ring breaks.
+func (t *ChanTransport) Send(rank int, chunk []float64) error {
+	next := (rank + 1) % t.size
+	select {
+	case <-t.brokenCh:
+		return t.err()
+	case t.links[next] <- chunk:
+		t.bytesSent.Add(int64(len(chunk)) * 8)
+		t.msgs.Add(1)
+		return nil
+	}
+}
+
+// Recv returns the next chunk from rank's predecessor.
+func (t *ChanTransport) Recv(rank int) ([]float64, error) {
+	if t.recvTimeout <= 0 {
+		select {
+		case chunk := <-t.links[rank]:
+			t.bytesRecv.Add(int64(len(chunk)) * 8)
+			return chunk, nil
+		case <-t.brokenCh:
+			return nil, t.err()
+		}
+	}
+	timer := time.NewTimer(t.recvTimeout)
+	defer timer.Stop()
+	select {
+	case chunk := <-t.links[rank]:
+		t.bytesRecv.Add(int64(len(chunk)) * 8)
+		return chunk, nil
+	case <-t.brokenCh:
+		return nil, t.err()
+	case <-timer.C:
+		prev := mod(rank-1, t.size)
+		t.Abort(prev, fmt.Errorf("rank %d timed out after %v waiting on rank %d", rank, t.recvTimeout, prev))
+		return nil, t.err()
+	}
+}
+
+// Barrier blocks until all ranks arrive or the ring breaks.
+func (t *ChanTransport) Barrier(rank int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.broken {
+		return &brokenError{cause: t.cause}
+	}
+	gen := t.gen
+	t.arrived++
+	if t.arrived == t.size {
+		t.arrived = 0
+		t.gen++
+		t.cond.Broadcast()
+		return nil
+	}
+	for gen == t.gen && !t.broken {
+		t.cond.Wait()
+	}
+	if t.broken {
+		return &brokenError{cause: t.cause}
+	}
+	return nil
+}
+
+// Abort declares rank dead and breaks the ring, releasing every waiter.
+func (t *ChanTransport) Abort(rank int, cause error) {
+	t.mu.Lock()
+	if !t.broken {
+		t.broken = true
+		if cause == nil {
+			cause = errors.New("aborted")
+		}
+		t.cause = cause
+		close(t.brokenCh)
+	}
+	if rank >= 0 {
+		seen := false
+		for _, d := range t.dead {
+			if d == rank {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			t.dead = append(t.dead, rank)
+		}
+	}
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// Dead returns the ranks declared dead so far.
+func (t *ChanTransport) Dead() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]int(nil), t.dead...)
+}
+
+// Stats returns the measured payload traffic.
+func (t *ChanTransport) Stats() TransportStats {
+	return TransportStats{
+		Kind:      "chan",
+		BytesSent: t.bytesSent.Load(),
+		BytesRecv: t.bytesRecv.Load(),
+		Msgs:      t.msgs.Load(),
+	}
+}
+
+// Close is a no-op for the channel transport (nothing to release).
+func (t *ChanTransport) Close() error { return nil }
+
+// FaultKind selects what a FaultyTransport rule does to a matched message.
+type FaultKind int
+
+const (
+	// FaultDrop silently discards the matched send: the receiver never
+	// gets the chunk, its recv deadline expires, and the sender's rank is
+	// declared dead — the lost-message path.
+	FaultDrop FaultKind = iota + 1
+	// FaultDelay holds the matched send for Delay before delivering it;
+	// the collective completes bitwise identical, just late.
+	FaultDelay
+	// FaultSever kills the sending rank at the matched message: the ring
+	// is aborted with that rank dead — the mid-step crash path.
+	FaultSever
+	// FaultCut severs the sender's connection before the matched send on
+	// a ConnCutter transport (TCP), so the send exercises the reconnect
+	// machinery and the collective still completes.  On transports
+	// without connections it is a no-op.
+	FaultCut
+)
+
+// FaultRule matches the Msg-th Send (0-based, counted per rank) issued by
+// Rank and applies Kind to it.
+type FaultRule struct {
+	Rank  int
+	Msg   int64
+	Kind  FaultKind
+	Delay time.Duration
+}
+
+// FaultyTransport wraps a Transport with deterministic fault injection:
+// each rule fires on an exact (rank, message index) coordinate, so the
+// crash tests can drop, delay or sever precisely the k-th scatter-reduce
+// or allgather message and exercise the real failure machinery instead of
+// only cooperative kills.
+type FaultyTransport struct {
+	Transport
+	rules []FaultRule
+	sent  []atomic.Int64
+	fired atomic.Int64
+}
+
+// NewFaultyTransport wraps inner with the given deterministic rules.
+func NewFaultyTransport(inner Transport, rules ...FaultRule) *FaultyTransport {
+	return &FaultyTransport{
+		Transport: inner,
+		rules:     rules,
+		sent:      make([]atomic.Int64, inner.Size()),
+	}
+}
+
+// Fired returns how many rules have triggered.
+func (t *FaultyTransport) Fired() int64 { return t.fired.Load() }
+
+// Send applies any matching rule to this rank's next message.
+func (t *FaultyTransport) Send(rank int, chunk []float64) error {
+	k := t.sent[rank].Add(1) - 1
+	for _, rule := range t.rules {
+		if rule.Rank != rank || rule.Msg != k {
+			continue
+		}
+		t.fired.Add(1)
+		switch rule.Kind {
+		case FaultDrop:
+			return nil // lost on the wire
+		case FaultDelay:
+			time.Sleep(rule.Delay)
+		case FaultSever:
+			cause := fmt.Errorf("fault: rank %d severed at message %d", rank, k)
+			t.Transport.Abort(rank, cause)
+			return &brokenError{cause: cause}
+		case FaultCut:
+			if c, ok := t.Transport.(ConnCutter); ok {
+				c.CutConn(rank)
+			}
+		}
+	}
+	return t.Transport.Send(rank, chunk)
+}

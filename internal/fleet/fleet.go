@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fekf/internal/cluster"
+	"fekf/internal/cluster/tcptransport"
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
 	"fekf/internal/md"
@@ -55,6 +56,15 @@ type Config struct {
 	Seed int64
 	// OnStep, if non-nil, runs on the conductor after every fleet step.
 	OnStep func(step int64, info optimize.StepInfo)
+	// Transport selects the ring wire: "" or "chan" for the in-process
+	// channel transport, "tcp" for TCP loopback sockets (same schedule,
+	// bitwise-identical reductions, real deadlines/reconnects/failure
+	// detection).
+	Transport string
+	// RingFactory, when non-nil, overrides Transport and builds each ring
+	// outright — the fault-injection tests use it to wrap transports with
+	// deterministic drop/delay/sever rules.
+	RingFactory func(size int) (*cluster.Ring, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -103,8 +113,11 @@ type Fleet struct {
 	// retired rings' accounting accumulates into the retired counters.
 	ring        atomic.Pointer[cluster.Ring]
 	ringIDs     []int // conductor-owned: replica id per ring rank
+	ringEpoch   int64 // conductor-owned: rings formed so far (ring ids)
 	retiredWire atomic.Int64
 	retiredOps  atomic.Int64
+	retiredMu   sync.Mutex
+	retiredTr   cluster.TransportStats
 
 	rr atomic.Uint64 // round-robin shard cursor
 
@@ -249,6 +262,7 @@ func (f *Fleet) Stop(ctx context.Context) error {
 		return ctx.Err()
 	}
 	// The conductor has exited: this goroutine now owns the state.
+	f.retireRing() // release transport sockets/goroutines; stats accumulate
 	step := f.steps.Load()
 	for _, r := range f.reps {
 		if r.alive.Load() {
@@ -414,19 +428,95 @@ func (f *Fleet) replayTotal() int {
 // ensureRing returns the collective ring over the given live set,
 // re-forming it (and retiring the old ring's accounting) when membership
 // changed since the last step.
-func (f *Fleet) ensureRing(live []int) *cluster.Ring {
+func (f *Fleet) ensureRing(live []int) (*cluster.Ring, error) {
 	ring := f.ring.Load()
 	if ring != nil && equalIDs(f.ringIDs, live) {
-		return ring
+		return ring, nil
 	}
-	if ring != nil {
-		f.retiredWire.Add(ring.WireBytes())
-		f.retiredOps.Add(ring.Ops())
+	f.retireRing()
+	ring, err := f.newRing(len(live))
+	if err != nil {
+		return nil, err
 	}
-	ring = cluster.NewRing(len(live), cluster.RoCE25())
 	f.ringIDs = append(f.ringIDs[:0], live...)
 	f.ring.Store(ring)
-	return ring
+	return ring, nil
+}
+
+// newRing builds a ring for size ranks over the configured transport.
+func (f *Fleet) newRing(size int) (*cluster.Ring, error) {
+	f.ringEpoch++
+	if f.cfg.RingFactory != nil {
+		return f.cfg.RingFactory(size)
+	}
+	switch f.cfg.Transport {
+	case "", "chan":
+		return cluster.NewRing(size, cluster.RoCE25()), nil
+	case "tcp":
+		g, err := tcptransport.NewLoopbackGroup(size, tcptransport.Options{
+			RingID: fmt.Sprintf("fleet-%s-epoch%d", f.system, f.ringEpoch),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return cluster.NewRingOver(g, cluster.RoCE25()), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown transport %q", f.cfg.Transport)
+	}
+}
+
+// retireRing folds the current ring's modeled and measured accounting into
+// the retired counters and releases its transport.  Conductor only.
+func (f *Fleet) retireRing() {
+	ring := f.ring.Swap(nil)
+	if ring == nil {
+		return
+	}
+	f.retiredWire.Add(ring.WireBytes())
+	f.retiredOps.Add(ring.Ops())
+	st := ring.TransportStats()
+	f.retiredMu.Lock()
+	f.retiredTr.Add(st)
+	f.retiredMu.Unlock()
+	ring.Close()
+	f.ringIDs = f.ringIDs[:0]
+}
+
+// recoverRing handles a hard mid-step transport failure: the transport's
+// dead ranks map through ringIDs onto replica deaths, the broken ring is
+// retired, and every surviving replica is reconciled bitwise from the
+// first survivor's model + Kalman checkpoint — the same catch-up path
+// Revive uses — so the drift gauges read exactly zero again.  It returns
+// the surviving live set.  Conductor only.
+func (f *Fleet) recoverRing(ring *cluster.Ring, cause error) []int {
+	for _, rank := range ring.Transport().Dead() {
+		if rank >= 0 && rank < len(f.ringIDs) {
+			f.reps[f.ringIDs[rank]].alive.Store(false)
+		}
+	}
+	f.retireRing()
+	survivors := f.liveIDs()
+	if len(survivors) == 0 {
+		f.setErr(fmt.Errorf("fleet: ring broken with no survivors: %w", cause))
+		return survivors
+	}
+	src := f.reps[survivors[0]]
+	modelBytes, err := encodeModel(src.model)
+	if err != nil {
+		f.setErr(fmt.Errorf("fleet: checkpoint survivor %d: %w", src.id, err))
+		return survivors
+	}
+	ck := src.opt.Checkpoint()
+	for _, id := range survivors[1:] {
+		if err := f.reps[id].restoreShared(modelBytes, ck); err != nil {
+			f.setErr(fmt.Errorf("fleet: reconcile replica %d: %w", id, err))
+		}
+	}
+	step := f.steps.Load()
+	for _, id := range survivors {
+		f.reps[id].publish(step)
+	}
+	return survivors
 }
 
 func equalIDs(a, b []int) bool {
@@ -480,7 +570,11 @@ func (f *Fleet) step() {
 	if total == 0 {
 		return
 	}
-	ring := f.ensureRing(live)
+	ring, err := f.ensureRing(live)
+	if err != nil {
+		f.setErr(fmt.Errorf("fleet: form ring: %w", err))
+		return
+	}
 	ref := f.reps[live[0]].opt
 	params := cluster.StepParams{
 		Scale:       ref.Factor.Apply(total),
@@ -513,6 +607,17 @@ func (f *Fleet) step() {
 	f.lambdaBits.Store(math.Float64bits(ref.Lambda()))
 	if err := errors.Join(errs...); err != nil {
 		f.setErr(fmt.Errorf("step %d: %w", n, err))
+		if errors.Is(err, cluster.ErrRingBroken) {
+			// Hard transport failure: some ranks may have finished the
+			// step while others aborted mid-collective, so the replicas
+			// are not merely stale but divergent — reconcile the
+			// survivors bitwise and retire the broken ring.
+			live = f.recoverRing(ring, err)
+			if len(live) == 0 {
+				return
+			}
+			f.lambdaBits.Store(math.Float64bits(f.reps[live[0]].opt.Lambda()))
+		}
 	}
 	f.updateInvariants(live)
 	if f.cfg.OnStep != nil {
@@ -585,16 +690,20 @@ type ReplicaStats struct {
 
 // Stats is the fleet-level observable state served at /v1/stats.
 type Stats struct {
-	Replicas      int            `json:"replicas"`
-	Live          int            `json:"live"`
-	ShardPolicy   string         `json:"shard_policy"`
-	Steps         int64          `json:"steps"`
-	Lambda        float64        `json:"lambda"`
-	WeightDrift   float64        `json:"weight_drift"`
-	PDrift        float64        `json:"p_drift"`
-	RingWireBytes int64          `json:"ring_wire_bytes"`
-	RingOps       int64          `json:"ring_ops"`
-	Replica       []ReplicaStats `json:"replica"`
+	Replicas      int     `json:"replicas"`
+	Live          int     `json:"live"`
+	ShardPolicy   string  `json:"shard_policy"`
+	Steps         int64   `json:"steps"`
+	Lambda        float64 `json:"lambda"`
+	WeightDrift   float64 `json:"weight_drift"`
+	PDrift        float64 `json:"p_drift"`
+	RingWireBytes int64   `json:"ring_wire_bytes"`
+	RingOps       int64   `json:"ring_ops"`
+	// Transport is the measured wire traffic (payload + framing, retries,
+	// reconnects, detected peer failures) summed over the live ring and
+	// every retired ring; RingWireBytes stays the modeled RoCE payload.
+	Transport cluster.TransportStats `json:"transport"`
+	Replica   []ReplicaStats         `json:"replica"`
 }
 
 // FleetStats returns the per-replica view; safe from any goroutine.
@@ -609,9 +718,13 @@ func (f *Fleet) FleetStats() Stats {
 	}
 	st.RingWireBytes = f.retiredWire.Load()
 	st.RingOps = f.retiredOps.Load()
+	f.retiredMu.Lock()
+	st.Transport = f.retiredTr
+	f.retiredMu.Unlock()
 	if ring := f.ring.Load(); ring != nil {
 		st.RingWireBytes += ring.WireBytes()
 		st.RingOps += ring.Ops()
+		st.Transport.Add(ring.TransportStats())
 	}
 	for _, r := range f.reps {
 		rs := ReplicaStats{

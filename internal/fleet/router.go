@@ -24,7 +24,13 @@ type Router struct {
 func (rt *Router) Snapshot() *online.ModelSnapshot {
 	reps := rt.f.reps
 	n := len(reps)
-	start := int(rt.next.Add(1)-1) % n
+	if n == 0 {
+		return nil
+	}
+	// The modulo must happen in uint64: converting the counter to int
+	// first goes negative once it wraps past MaxInt64 and indexes
+	// reps[-k].
+	start := int((rt.next.Add(1) - 1) % uint64(n))
 	for k := 0; k < n; k++ {
 		r := reps[(start+k)%n]
 		if !r.alive.Load() {

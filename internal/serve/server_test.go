@@ -355,7 +355,7 @@ func TestServerFleetBackend(t *testing.T) {
 	opt.KCfg = opt.KCfg.WithOpt3()
 	fl, err := fleet.New(m, opt, ds, fleet.Config{
 		Replicas: 3, BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, TrainIdle: true, Seed: 5,
-		Gate: online.GateConfig{Enabled: false},
+		Gate: online.GateConfig{Enabled: false}, Transport: "tcp",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -431,5 +431,17 @@ func TestServerFleetBackend(t *testing.T) {
 	}
 	if queued != 9 {
 		t.Fatalf("per-replica rows account %d queued frames, want 9", queued)
+	}
+	// The fleet ran its ring over TCP loopback: /v1/stats must report the
+	// measured transport counters alongside the modeled ring accounting.
+	tr := stats.Fleet.Transport
+	if tr.Kind != "tcp" {
+		t.Fatalf("transport kind %q over HTTP, want tcp", tr.Kind)
+	}
+	if tr.BytesSent == 0 || tr.BytesRecv == 0 || tr.Msgs == 0 {
+		t.Fatalf("transport rows report no traffic: %+v", tr)
+	}
+	if stats.Fleet.RingWireBytes == 0 {
+		t.Fatal("modeled ring accounting lost when running over TCP")
 	}
 }
