@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-pipeline race-online race-fleet race-transport fuzz bench bench-fleet bench-transport fmt serve-smoke
+.PHONY: ci vet test race race-pipeline race-online race-fleet race-transport race-autoscale fuzz bench bench-fleet bench-transport bench-autoscale fmt serve-smoke
 
-ci: vet test race race-pipeline race-online race-fleet race-transport fuzz bench-fleet bench-transport serve-smoke
+ci: vet test race race-pipeline race-online race-fleet race-transport race-autoscale fuzz bench-fleet bench-transport bench-autoscale serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,14 @@ race-online:
 race-fleet:
 	$(GO) test -race -timeout 20m -count=1 ./internal/fleet
 
+# Soak the queue-pressure autoscaler under the race detector: bursty
+# producers against tiny DropNewest queues force full scale-up/scale-down
+# cycles while predict and stats traffic runs concurrently, with the
+# bitwise zero-drift invariant checked at every sample (plus the
+# fake-clock controller unit tests, which share the Autoscale name).
+race-autoscale:
+	$(GO) test -race -timeout 20m -count=1 -run 'Autoscale' ./internal/fleet
+
 # The TCP ring transport runs four goroutines per endpoint (accept, read,
 # heartbeat, plus the caller) against shared connection state, reconnect
 # and abort paths.  Soak the wire protocol and the chan-vs-TCP bitwise
@@ -63,6 +71,7 @@ serve-smoke:
 	$(GO) run ./cmd/serve -smoke
 	$(GO) run ./cmd/serve -smoke -replicas 3
 	$(GO) run ./cmd/serve -smoke -replicas 3 -transport tcp
+	$(GO) run ./cmd/serve -smoke -autoscale
 	$(GO) run ./cmd/serve -smoke-transport
 
 # Short fuzz pass over the kernels whose parallel==serial bitwise contract
@@ -71,6 +80,7 @@ fuzz:
 	$(GO) test ./internal/tensor -run '^$$' -fuzz '^FuzzGEMMParallelMatchesSerial$$' -fuzztime 5s
 	$(GO) test ./internal/tensor -run '^$$' -fuzz '^FuzzPUpdateFusedParallelMatchesSerial$$' -fuzztime 5s
 	$(GO) test ./internal/tensor -run '^$$' -fuzz '^FuzzSymMatVecParallelMatchesSerial$$' -fuzztime 5s
+	$(GO) test ./internal/fleet -run '^$$' -fuzz '^FuzzShardRouting$$' -fuzztime 5s
 
 # Host-parallelism speedup curve (Kalman block update, GEMM family, the
 # pipelined FEKF iteration).
@@ -87,6 +97,12 @@ bench-fleet:
 # abstract away.  Run once per iteration in ci as a smoke.
 bench-transport:
 	$(GO) test ./internal/cluster -run '^$$' -bench AllreduceTransport -benchtime 1x
+
+# Autoscaler cost: one controller evaluation (the per-interval conductor
+# overhead) and one full revive+kill scale transition (checkpoint catch-up
+# latency a scale event adds between steps).  Run once in ci as a smoke.
+bench-autoscale:
+	$(GO) test ./internal/fleet -run '^$$' -bench 'AutoscaleDecision|FleetScaleTransition' -benchtime 1x
 
 fmt:
 	gofmt -l .

@@ -66,6 +66,9 @@ func main() {
 		mdFrames   = flag.Int("md-frames", 0, "frames the MD client sends (0 = until shutdown)")
 		mdPeriod   = flag.Duration("md-period", 100*time.Millisecond, "delay between MD client frames")
 		replicas   = flag.Int("replicas", 1, "fleet replica count (>1 runs the replicated online fleet)")
+		autoscale  = flag.Bool("autoscale", false, "let the fleet conductor scale the live replica count from queue pressure (implies the fleet backend)")
+		replMin    = flag.Int("replicas-min", 1, "autoscaler floor on the live replica count")
+		replMax    = flag.Int("replicas-max", 0, "autoscaler ceiling on the live replica count (0 = max(replicas, 3))")
 		shardPol   = flag.String("shard-policy", "round-robin", "fleet ingest sharding: round-robin | hash")
 		transport  = flag.String("transport", "chan", "fleet ring transport: chan (in-process) | tcp (loopback sockets)")
 		peers      = flag.String("peers", "", "comma-separated ring listen addresses, rank order; runs this process as one rank of a cross-process TCP ring (own slot may be host:0)")
@@ -81,6 +84,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("serve: %v", err)
 	}
+	if *replMax == 0 {
+		*replMax = *replicas
+		if *replMax < 3 {
+			*replMax = 3
+		}
+	}
+	ascfg := fleet.AutoscaleConfig{Enabled: *autoscale, Min: *replMin, Max: *replMax}
 
 	if *peers != "" {
 		crc, err := runRingWorker(*peers, *rank, *seed, -1)
@@ -100,7 +110,9 @@ func main() {
 	}
 
 	if *smoke {
-		if *replicas > 1 {
+		if *autoscale {
+			err = runAutoscaleSmoke(*system, *seed, *transport)
+		} else if *replicas > 1 {
 			err = runFleetSmoke(*system, *seed, *replicas, shard, *transport)
 		} else {
 			err = runSmoke(*system, *seed)
@@ -118,7 +130,7 @@ func main() {
 	}
 
 	var be serve.Backend
-	if *replicas > 1 {
+	if *replicas > 1 || *autoscale {
 		fcfg := fleet.Config{
 			Replicas:        *replicas,
 			ShardPolicy:     shard,
@@ -134,6 +146,7 @@ func main() {
 			TrainIdle:       *trainIdle,
 			Seed:            *seed,
 			Transport:       *transport,
+			Autoscale:       ascfg,
 		}
 		fl, err := buildFleet(*system, *bootstrap, *seed, *resume, *ckptPath, fcfg)
 		if err != nil {
@@ -370,6 +383,53 @@ func runMDClient(addr, system string, seed int64, maxFrames int, period time.Dur
 		}
 	}
 	return nil
+}
+
+// runBurstClient floods /v1/frames with a small set of labelled MD frames
+// as fast as the HTTP round-trip allows, until stop closes.  Unlike
+// runMDClient it hoists frame generation out of the loop: propagating the
+// MD system and running a batched predict per frame costs about as much
+// as a training step, which caps queue occupancy far below the autoscale
+// scale-up band no matter how many such producers run.
+func runBurstClient(addr, system string, seed int64, stop <-chan struct{}) error {
+	spec, err := md.GetSystem(system)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	sys, pot := spec.TinyBuild()
+	T := spec.Temperatures[0]
+	sys.InitVelocities(T, rng)
+	lg := md.NewLangevin(pot, spec.TimeStep, T, rng)
+	lg.Run(sys, 40, 0, nil)
+	frames := make([]serve.FramePayload, 0, 8)
+	for i := 0; i < cap(frames); i++ {
+		lg.Run(sys, 5, 0, nil)
+		e, f := md.ComputeAll(pot, sys)
+		frames = append(frames, serve.FramePayload{
+			Pos:         append([]float64(nil), sys.Pos...),
+			Box:         sys.Box,
+			Types:       append([]int(nil), sys.Types...),
+			Energy:      e,
+			Forces:      f,
+			Temperature: T,
+		})
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := "http://" + addr
+	for n := 0; ; n++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		var fresp serve.FramesResponse
+		req := serve.FramesRequest{Frames: []serve.FramePayload{frames[n%len(frames)]}}
+		if err := postJSON(client, base+"/v1/frames", req, &fresp); err != nil {
+			return fmt.Errorf("burst frame %d: %w", n, err)
+		}
+	}
 }
 
 func postJSON(client *http.Client, url string, req, resp any) error {
@@ -638,6 +698,136 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	}
 	log.Printf("fleet smoke: resumed %d replicas at step %d with identical λ=%.6f",
 		fl2.Replicas(), resumed.Steps, resumed.Lambda)
+	return nil
+}
+
+// runAutoscaleSmoke is the autoscaler CI self-test: boot a single-replica
+// fleet with autoscaling to 3, burst MD frames at tiny DropNewest queues
+// until the conductor scales up, then quiesce until it scales back down to
+// the floor — requiring exactly zero weight/P drift at every observation
+// across all membership changes, and predict availability throughout.
+// The uncertainty gate stays off so the pressure signal tracks queue
+// occupancy alone: a trained-up gate rejects most frames and its
+// cumulative accept rate would suppress pressure into the dead-band
+// (the accept-rate weighting itself is covered by the deterministic
+// controller tests in internal/fleet).
+func runAutoscaleSmoke(system string, seed int64, transport string) error {
+	fcfg := fleet.Config{
+		Replicas: 1, BatchSize: 2, MinFrames: 2,
+		QueueSize: 8, QueuePolicy: online.DropNewest,
+		WindowSize: 64, ReservoirSize: 64, SnapshotEvery: 1,
+		Gate: gateConfig(false, 0), Seed: seed, Transport: transport,
+		PollInterval: time.Millisecond,
+		Autoscale: fleet.AutoscaleConfig{
+			Enabled: true, Min: 1, Max: 3,
+			Interval:   20 * time.Millisecond,
+			UpCooldown: 50 * time.Millisecond, DownCooldown: 200 * time.Millisecond,
+		},
+	}
+	fl, err := buildFleet(system, 8, seed, false, "", fcfg)
+	if err != nil {
+		return err
+	}
+	fl.Start()
+	srv := serve.New(fl, serve.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	base := "http://" + srv.Addr()
+	client := &http.Client{Timeout: 30 * time.Second}
+	if transport == "" {
+		transport = "chan"
+	}
+	log.Printf("autoscale smoke: 1 live replica of %d slots (band [1,3], %s ring transport) on %s",
+		fl.Replicas(), transport, base)
+
+	// waitScale polls /v1/stats until cond holds, requiring the autoscale
+	// row to be present and the drift gauges to read exactly 0 throughout.
+	waitScale := func(cond func(serve.StatsResponse) bool, what string) (serve.StatsResponse, error) {
+		deadline := time.Now().Add(120 * time.Second)
+		var st serve.StatsResponse
+		for {
+			if err := getJSON(client, base+"/v1/stats", &st); err != nil {
+				return st, err
+			}
+			if st.Fleet == nil || st.Fleet.Autoscale == nil {
+				return st, fmt.Errorf("/v1/stats has no autoscale row")
+			}
+			if st.Fleet.WeightDrift != 0 || st.Fleet.PDrift != 0 {
+				return st, fmt.Errorf("drift during %s: weights %g, P %g",
+					what, st.Fleet.WeightDrift, st.Fleet.PDrift)
+			}
+			if cond(st) {
+				return st, nil
+			}
+			if time.Now().After(deadline) {
+				return st, fmt.Errorf("timed out waiting for %s: %+v", what, st.Fleet.Autoscale)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// burst phase: two flat-out producers overwhelm the 8-slot queues
+	stopBurst := make(chan struct{})
+	burstErr := make(chan error, 2)
+	for p := 0; p < 2; p++ {
+		go func(p int) {
+			burstErr <- runBurstClient(srv.Addr(), system, seed+int64(p), stopBurst)
+		}(p)
+	}
+	st, err := waitScale(func(st serve.StatsResponse) bool {
+		// Requiring a healthy frame count alongside Live>=2 proves the
+		// burst sustains the scaled-up state: the 8 bootstrap frames
+		// alone can trigger a transient scale-up before the producers
+		// finish pre-generating their frames.
+		as := st.Fleet.Autoscale
+		return as.ScaleUps >= 1 && st.Fleet.Live >= 2 && st.Steps >= 2 &&
+			st.FramesQueued >= 64
+	}, "scale-up under burst")
+	close(stopBurst)
+	for p := 0; p < 2; p++ {
+		if cerr := <-burstErr; cerr != nil && err == nil {
+			err = fmt.Errorf("burst producer: %w", cerr)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("autoscale smoke: scaled up to %d live at step %d (pressure %.3f, reason %q), drift 0/0",
+		st.Fleet.Live, st.Steps, st.Fleet.Autoscale.Pressure, st.Fleet.Autoscale.LastReason)
+
+	// quiet phase: drained queues must shrink the fleet back to the floor,
+	// with predictions still answered along the way
+	spec, err := md.GetSystem(system)
+	if err != nil {
+		return err
+	}
+	sys, _ := spec.TinyBuild()
+	var presp serve.PredictResponse
+	if err := postJSON(client, base+"/v1/predict",
+		serve.PredictRequest{Pos: sys.Pos, Box: sys.Box, Types: sys.Types}, &presp); err != nil {
+		return fmt.Errorf("predict during scale-down: %w", err)
+	}
+	st, err = waitScale(func(st serve.StatsResponse) bool {
+		return st.Fleet.Autoscale.ScaleDowns >= 1 && st.Fleet.Live == 1
+	}, "scale-down after quiesce")
+	if err != nil {
+		return err
+	}
+	log.Printf("autoscale smoke: scaled down to %d live at step %d (%d ups / %d downs over %d evals), drift 0/0",
+		st.Fleet.Live, st.Steps, st.Fleet.Autoscale.ScaleUps, st.Fleet.Autoscale.ScaleDowns, st.Fleet.Autoscale.Evals)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	final := fl.Stats()
+	if final.LastError != "" {
+		return fmt.Errorf("fleet recorded error during the autoscale cycle: %s", final.LastError)
+	}
+	log.Printf("autoscale smoke: drained at step %d, λ=%.6f, %d accepted, %d gated out",
+		final.Steps, final.Lambda, final.FramesAccepted, final.FramesGatedOut)
 	return nil
 }
 

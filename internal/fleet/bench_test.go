@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"fekf/internal/online"
 )
@@ -31,5 +32,60 @@ func BenchmarkFleetScaling(b *testing.B) {
 				b.Fatalf("drift at %d replicas: %g / %g", n, f.WeightDrift(), f.PDrift())
 			}
 		})
+	}
+}
+
+// BenchmarkAutoscaleDecision measures one controller evaluation — the
+// pure-decision cost the conductor pays every sampling interval, scale
+// event or not.  The sample mix walks through up, down and dead-band
+// verdicts so cooldown bookkeeping is exercised too.
+func BenchmarkAutoscaleDecision(b *testing.B) {
+	a, err := NewAutoscaler(AutoscaleConfig{
+		Enabled: true, Min: 1, Max: 8,
+		UpCooldown: time.Microsecond, DownCooldown: time.Microsecond,
+	}, 4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := []Sample{
+		{Live: 4, QueueOccupancy: 0.95, GateAcceptRate: 1, StepLatency: 40 * time.Millisecond},
+		{Live: 4, QueueOccupancy: 0.5, GateAcceptRate: 0.8},
+		{Live: 4, QueueOccupancy: 0.02, GateAcceptRate: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Evaluate(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkFleetScaleTransition measures one full scale-up/scale-down
+// round trip through the membership paths the autoscaler drives: revive
+// with checkpoint catch-up from a survivor (model encode + Kalman restore)
+// followed by a kill.  This is the latency a scale event adds between two
+// lockstep steps.
+func BenchmarkFleetScaleTransition(b *testing.B) {
+	ds, f := newTestFleet(b, 1, Config{
+		Seed: 42, Gate: online.GateConfig{Enabled: false},
+		Autoscale: AutoscaleConfig{Enabled: true, Min: 1, Max: 2},
+	})
+	for i := 0; i < 4; i++ {
+		if ok, err := f.Ingest(ds.Snapshots[i]); !ok || err != nil {
+			b.Fatalf("ingest %d: %v %v", i, ok, err)
+		}
+	}
+	f.drainAll()
+	f.step() // advance past init so catch-up copies real trained state
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.reviveLocked(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.killLocked(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if f.WeightDrift() != 0 || f.PDrift() != 0 {
+		b.Fatalf("drift after scale transitions: %g / %g", f.WeightDrift(), f.PDrift())
 	}
 }

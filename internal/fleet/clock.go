@@ -1,0 +1,24 @@
+package fleet
+
+import "time"
+
+// Clock is the fleet's time source: snapshot provenance, step-latency
+// measurement, the conductor's idle wait and every autoscaler decision go
+// through it, so a fake clock makes the whole control loop deterministic
+// in tests (see internal/fleet/clocktest).  The zero Config uses the
+// system clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// systemClock is the production Clock: the real wall clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// SystemClock is the real wall clock, the default when Config.Clock is nil.
+var SystemClock Clock = systemClock{}

@@ -54,35 +54,22 @@ func TestReplicaCrashMidStepKeepsConsistency(t *testing.T) {
 
 // Killing a replica must drain it from the predict rotation without
 // failing in-flight predictions, keep the survivors training with zero
-// drift, and keep /v1/predict availability throughout.
+// drift, and keep /v1/predict availability throughout.  The conductor is
+// driven manually (the fleet is never started), so the whole sequence is
+// deterministic — no polling loops, no sleeps.
 func TestKillKeepsPredictAvailability(t *testing.T) {
 	ds, f := newTestFleet(t, 3, Config{
-		SnapshotEvery: 1, TrainIdle: true, Seed: 13, Gate: online.GateConfig{Enabled: false},
+		SnapshotEvery: 1, Seed: 13, Gate: online.GateConfig{Enabled: false},
 	})
-	f.Start()
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-		defer cancel()
-		if err := f.Stop(ctx); err != nil {
-			t.Fatal(err)
-		}
-	}()
 	for i := 0; i < 12; i++ {
 		if ok, err := f.Ingest(ds.Snapshots[i]); !ok || err != nil {
 			t.Fatalf("ingest %d: %v %v", i, ok, err)
 		}
 	}
-	waitSteps := func(atLeast int64) {
-		deadline := time.Now().Add(30 * time.Second)
-		for f.Steps() < atLeast {
-			if time.Now().After(deadline) {
-				t.Fatalf("fleet stuck at step %d waiting for %d (last error %q)",
-					f.Steps(), atLeast, f.Stats().LastError)
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-	}
-	waitSteps(2)
+	f.drainAll()
+	f.step() // SnapshotEvery 1: every step publishes routable snapshots
+	f.step()
+	assertBitwiseConsistent(t, f)
 
 	// an in-flight prediction holds a snapshot across the kill
 	held := f.Snapshot()
@@ -118,8 +105,9 @@ func TestKillKeepsPredictAvailability(t *testing.T) {
 	}
 
 	// survivors keep training, bitwise consistent
-	at := f.Steps()
-	waitSteps(at + 2)
+	f.step()
+	f.step()
+	assertBitwiseConsistent(t, f)
 	st := f.FleetStats()
 	if st.Live != 2 {
 		t.Fatalf("stats report %d live replicas, want 2", st.Live)

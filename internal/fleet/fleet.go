@@ -65,6 +65,16 @@ type Config struct {
 	// outright — the fault-injection tests use it to wrap transports with
 	// deterministic drop/delay/sever rules.
 	RingFactory func(size int) (*cluster.Ring, error)
+	// Clock supplies time to the conductor: snapshot provenance, the idle
+	// wait, step-latency measurement and autoscaler cooldowns.  Nil means
+	// the system clock; tests inject clocktest.Clock for determinism.
+	Clock Clock
+	// Autoscale, when Enabled, lets the conductor grow and shrink the
+	// live replica count between Autoscale.Min and Autoscale.Max from
+	// measured queue pressure.  The fleet then allocates
+	// max(Autoscale.Max, Replicas) slots up front and starts with
+	// Replicas (clamped into the band) of them live.
+	Autoscale AutoscaleConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.PollInterval <= 0 {
 		c.PollInterval = 10 * time.Millisecond
 	}
+	if c.Clock == nil {
+		c.Clock = SystemClock
+	}
 	return c
 }
 
@@ -108,6 +121,15 @@ type Fleet struct {
 
 	reps   []*replica
 	router *Router
+	clock  Clock
+
+	// autoscaler state: the controller itself (nil when disabled), the
+	// conductor-owned evaluation bookkeeping, and the mirrored
+	// step-latency EMA the sampler and stats read.
+	scaler      *Autoscaler
+	lastEval    time.Time // conductor-owned
+	peakOcc     float64   // conductor-owned: peak occupancy since lastEval
+	stepLatBits atomic.Uint64
 
 	// ring over the live replicas, re-formed when membership changes;
 	// retired rings' accounting accumulates into the retired counters.
@@ -159,16 +181,40 @@ func New(m *deepmd.Model, opt *optimize.FEKF, proto *dataset.Dataset, cfg Config
 		cfg:     cfg,
 		system:  proto.System,
 		species: proto.Species,
+		clock:   cfg.Clock,
 
 		ctl:      make(chan func()),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
-	for i := 0; i < cfg.Replicas; i++ {
+	// With autoscaling, every slot the controller may ever grow into is
+	// allocated up front (replicas are cheap clones of one model); slots
+	// beyond the initial live count start dead and are revived through
+	// the checkpoint catch-up path when pressure demands them.
+	slots, live := cfg.Replicas, cfg.Replicas
+	if cfg.Autoscale.Enabled {
+		scaler, err := NewAutoscaler(cfg.Autoscale, cfg.Replicas, cfg.Clock)
+		if err != nil {
+			return nil, err
+		}
+		f.scaler = scaler
+		ac := scaler.Config()
+		if ac.Max > slots {
+			slots = ac.Max
+		}
+		if live < ac.Min {
+			live = ac.Min
+		}
+		if live > ac.Max {
+			live = ac.Max
+		}
+	}
+	for i := 0; i < slots; i++ {
 		r, err := newReplica(i, m, opt, cfg)
 		if err != nil {
 			return nil, err
 		}
+		r.alive.Store(i < live)
 		f.reps = append(f.reps, r)
 	}
 	f.router = &Router{f: f}
@@ -236,7 +282,9 @@ func (f *Fleet) Start() {
 	}
 	step := f.steps.Load()
 	for _, r := range f.reps {
-		r.publish(step)
+		if r.alive.Load() {
+			r.publish(step)
+		}
 	}
 	go f.loop()
 }
@@ -303,16 +351,20 @@ func (f *Fleet) do(ctx context.Context, fn func() error) error {
 // In-flight predictions served from its snapshot complete normally
 // (snapshots are immutable).
 func (f *Fleet) Kill(ctx context.Context, id int) error {
-	return f.do(ctx, func() error {
-		if id < 0 || id >= len(f.reps) {
-			return fmt.Errorf("fleet: no replica %d", id)
-		}
-		if !f.reps[id].alive.Load() {
-			return fmt.Errorf("fleet: replica %d is already dead", id)
-		}
-		f.reps[id].alive.Store(false)
-		return nil
-	})
+	return f.do(ctx, func() error { return f.killLocked(id) })
+}
+
+// killLocked is Kill's body: it requires exclusive ownership of the
+// training state (conductor, or pre-Start/post-Stop).
+func (f *Fleet) killLocked(id int) error {
+	if id < 0 || id >= len(f.reps) {
+		return fmt.Errorf("fleet: no replica %d", id)
+	}
+	if !f.reps[id].alive.Load() {
+		return fmt.Errorf("fleet: replica %d is already dead", id)
+	}
+	f.reps[id].alive.Store(false)
+	return nil
 }
 
 // Revive rejoins a dead replica through checkpoint catch-up: the shared
@@ -321,30 +373,34 @@ func (f *Fleet) Kill(ctx context.Context, id int) error {
 // identical — drift is exactly zero again — and then drains its backlog
 // queue on the next conductor pass.
 func (f *Fleet) Revive(ctx context.Context, id int) error {
-	return f.do(ctx, func() error {
-		if id < 0 || id >= len(f.reps) {
-			return fmt.Errorf("fleet: no replica %d", id)
-		}
-		r := f.reps[id]
-		if r.alive.Load() {
-			return fmt.Errorf("fleet: replica %d is already live", id)
-		}
-		live := f.liveIDs()
-		if len(live) == 0 {
-			return fmt.Errorf("fleet: no live replica to catch up from")
-		}
-		src := f.reps[live[0]]
-		modelBytes, err := encodeModel(src.model)
-		if err != nil {
-			return fmt.Errorf("fleet: checkpoint survivor %d: %w", src.id, err)
-		}
-		if err := r.restoreShared(modelBytes, src.opt.Checkpoint()); err != nil {
-			return err
-		}
-		r.alive.Store(true)
-		r.publish(f.steps.Load())
-		return nil
-	})
+	return f.do(ctx, func() error { return f.reviveLocked(id) })
+}
+
+// reviveLocked is Revive's body: it requires exclusive ownership of the
+// training state (conductor, or pre-Start/post-Stop).
+func (f *Fleet) reviveLocked(id int) error {
+	if id < 0 || id >= len(f.reps) {
+		return fmt.Errorf("fleet: no replica %d", id)
+	}
+	r := f.reps[id]
+	if r.alive.Load() {
+		return fmt.Errorf("fleet: replica %d is already live", id)
+	}
+	live := f.liveIDs()
+	if len(live) == 0 {
+		return fmt.Errorf("fleet: no live replica to catch up from")
+	}
+	src := f.reps[live[0]]
+	modelBytes, err := encodeModel(src.model)
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint survivor %d: %w", src.id, err)
+	}
+	if err := r.restoreShared(modelBytes, src.opt.Checkpoint()); err != nil {
+		return err
+	}
+	r.alive.Store(true)
+	r.publish(f.steps.Load())
+	return nil
 }
 
 // CheckpointNow asks the conductor to write a fleet checkpoint to
@@ -356,9 +412,9 @@ func (f *Fleet) CheckpointNow(ctx context.Context) error {
 	return f.do(ctx, func() error { return f.writeCheckpointCounted(f.cfg.CheckpointPath) })
 }
 
-// loop is the conductor: drain shards → gate → replay → lockstep step →
-// publish, with control requests (kill / revive / checkpoint) executed
-// between steps.
+// loop is the conductor: observe pressure → drain shards → gate → replay
+// → autoscale → lockstep step → publish, with control requests (kill /
+// revive / checkpoint) executed between steps.
 func (f *Fleet) loop() {
 	defer close(f.loopDone)
 	for {
@@ -371,7 +427,9 @@ func (f *Fleet) loop() {
 			continue
 		default:
 		}
+		f.notePressure() // before the drain empties the queues
 		got := f.drainAll()
+		f.maybeAutoscale()
 		ready := f.replayTotal() >= f.cfg.MinFrames
 		if got == 0 && !(f.cfg.TrainIdle && ready) {
 			select {
@@ -380,7 +438,7 @@ func (f *Fleet) loop() {
 				return
 			case fn := <-f.ctl:
 				fn()
-			case <-time.After(f.cfg.PollInterval):
+			case <-f.clock.After(f.cfg.PollInterval):
 			}
 			continue
 		}
@@ -388,6 +446,112 @@ func (f *Fleet) loop() {
 			f.step()
 		}
 	}
+}
+
+// notePressure records the peak per-replica queue occupancy since the
+// last autoscaler evaluation.  It runs at the top of every conductor
+// iteration — before drainAll empties the queues — so a burst absorbed
+// between two evaluations still registers as pressure.  Conductor only.
+func (f *Fleet) notePressure() {
+	if f.scaler == nil {
+		return
+	}
+	for _, r := range f.reps {
+		if !r.alive.Load() {
+			continue
+		}
+		if occ := r.queue.Occupancy(); occ > f.peakOcc {
+			f.peakOcc = occ
+		}
+	}
+}
+
+// maybeAutoscale runs one autoscaler evaluation when the control interval
+// has elapsed, and applies the decision through the same membership paths
+// Kill and Revive use — the next step re-forms the ring over the new live
+// set and the drift invariants are refreshed as usual.  Conductor only.
+func (f *Fleet) maybeAutoscale() {
+	if f.scaler == nil {
+		return
+	}
+	now := f.clock.Now()
+	if !f.lastEval.IsZero() && now.Sub(f.lastEval) < f.scaler.Config().Interval {
+		return
+	}
+	f.lastEval = now
+	live := f.liveIDs()
+	backlog := 0
+	var accepted, gated int64
+	for _, r := range f.reps {
+		backlog += r.queue.Depth()
+		accepted += r.accepted.Load()
+		gated += r.gatedOut.Load()
+	}
+	acceptRate := 1.0 // unscored stream: no evidence of redundancy
+	if scored := accepted + gated; scored > 0 {
+		acceptRate = float64(accepted) / float64(scored)
+	}
+	s := Sample{
+		Live:           len(live),
+		QueueOccupancy: f.peakOcc,
+		GateAcceptRate: acceptRate,
+		StepLatency:    f.stepLatency(),
+		Backlog:        backlog,
+	}
+	f.peakOcc = 0
+	v := f.scaler.Evaluate(s)
+	switch v.Decision {
+	case ScaleUp:
+		f.scaleUp(live)
+	case ScaleDown:
+		f.scaleDown(live)
+	}
+}
+
+// scaleUp revives the lowest dead slot through the checkpoint catch-up
+// path, so the new replica joins bitwise identical to the survivors.
+// Conductor only.
+func (f *Fleet) scaleUp(live []int) {
+	for _, r := range f.reps {
+		if r.alive.Load() {
+			continue
+		}
+		if err := f.reviveLocked(r.id); err != nil {
+			f.setErr(fmt.Errorf("fleet: autoscale up replica %d: %w", r.id, err))
+		}
+		return
+	}
+	f.setErr(fmt.Errorf("fleet: autoscale up: no dead slot among %d", len(f.reps)))
+}
+
+// scaleDown kills the highest live slot and gracefully drains it: frames
+// still queued on its shard are re-admitted through the surviving
+// replicas' gates, so an accepted burst is never lost to a resize.
+// Conductor only.
+func (f *Fleet) scaleDown(live []int) {
+	if len(live) == 0 {
+		return
+	}
+	id := live[len(live)-1]
+	if err := f.killLocked(id); err != nil {
+		f.setErr(fmt.Errorf("fleet: autoscale down replica %d: %w", id, err))
+		return
+	}
+	victim := f.reps[id]
+	for {
+		s, ok := victim.queue.Pop(0)
+		if !ok {
+			break
+		}
+		if tid := f.shardOf(&s); tid >= 0 {
+			f.admit(f.reps[tid], s)
+		}
+	}
+}
+
+// stepLatency returns the EMA of recent lockstep wall times.
+func (f *Fleet) stepLatency() time.Duration {
+	return time.Duration(math.Float64frombits(f.stepLatBits.Load()))
 }
 
 // drainAll moves every queued frame of every live replica through its gate
@@ -584,6 +748,7 @@ func (f *Fleet) step() {
 		Pipeline:    ref.Pipeline,
 	}
 	stepNo := f.steps.Load()
+	t0 := f.clock.Now()
 
 	var wg sync.WaitGroup
 	errs := make([]error, len(live))
@@ -620,6 +785,7 @@ func (f *Fleet) step() {
 		}
 	}
 	f.updateInvariants(live)
+	f.noteStepLatency(f.clock.Now().Sub(t0))
 	if f.cfg.OnStep != nil {
 		f.cfg.OnStep(n, infos[0])
 	}
@@ -656,6 +822,17 @@ func (f *Fleet) updateInvariants(live []int) {
 	}
 	f.wDriftBits.Store(math.Float64bits(wd))
 	f.pDriftBits.Store(math.Float64bits(pd))
+}
+
+// noteStepLatency folds one lockstep wall time into the mirrored EMA the
+// autoscaler samples (α = 0.2; the first measurement seeds the EMA).
+func (f *Fleet) noteStepLatency(lat time.Duration) {
+	prev := math.Float64frombits(f.stepLatBits.Load())
+	ema := float64(lat)
+	if prev > 0 {
+		ema = 0.8*prev + 0.2*float64(lat)
+	}
+	f.stepLatBits.Store(math.Float64bits(ema))
 }
 
 // WeightDrift returns the last step's maximum absolute weight difference
@@ -703,7 +880,11 @@ type Stats struct {
 	// reconnects, detected peer failures) summed over the live ring and
 	// every retired ring; RingWireBytes stays the modeled RoCE payload.
 	Transport cluster.TransportStats `json:"transport"`
-	Replica   []ReplicaStats         `json:"replica"`
+	// Autoscale is the queue-pressure controller row (nil when
+	// autoscaling is disabled): current/target live counts, the last
+	// decision with its reason, and the scale-event counters.
+	Autoscale *AutoscaleStats `json:"autoscale,omitempty"`
+	Replica   []ReplicaStats  `json:"replica"`
 }
 
 // FleetStats returns the per-replica view; safe from any goroutine.
@@ -742,12 +923,15 @@ func (f *Fleet) FleetStats() Stats {
 		}
 		if s := r.snap.Load(); s != nil {
 			rs.SnapshotStep = s.Step
-			rs.SnapshotAgeMs = time.Since(s.Published).Milliseconds()
+			rs.SnapshotAgeMs = f.clock.Now().Sub(s.Published).Milliseconds()
 		}
 		if rs.Alive {
 			st.Live++
 		}
 		st.Replica = append(st.Replica, rs)
+	}
+	if f.scaler != nil {
+		st.Autoscale = f.scaler.statsRow(st.Live, f.stepLatency())
 	}
 	return st
 }
@@ -788,12 +972,15 @@ func (f *Fleet) Stats() online.Stats {
 	if st.ReplayCapacity > 0 {
 		st.ReplayOccupancy = float64(st.ReplaySize) / float64(st.ReplayCapacity)
 	}
+	if st.QueueCapacity > 0 {
+		st.QueueOccupancy = float64(st.QueueDepth) / float64(st.QueueCapacity)
+	}
 	if scored := st.FramesAccepted + st.FramesGatedOut; scored > 0 {
 		st.GateAcceptRate = float64(st.FramesAccepted) / float64(scored)
 	}
 	if s := f.router.freshest(); s != nil {
 		st.SnapshotStep = s.Step
-		st.SnapshotAgeMs = time.Since(s.Published).Milliseconds()
+		st.SnapshotAgeMs = f.clock.Now().Sub(s.Published).Milliseconds()
 	}
 	if e := f.lastErr.Load(); e != nil {
 		st.LastError = *e

@@ -24,6 +24,7 @@ import (
 type replica struct {
 	id    int
 	dev   *device.Device
+	clock Clock
 	model *deepmd.Model
 	opt   *optimize.FEKF
 
@@ -62,6 +63,7 @@ func newReplica(id int, m *deepmd.Model, opt *optimize.FEKF, cfg Config) (*repli
 	r := &replica{
 		id:     id,
 		dev:    dev,
+		clock:  cfg.Clock,
 		model:  model,
 		opt:    ropt,
 		queue:  online.NewQueue(cfg.QueueSize, cfg.QueuePolicy),
@@ -94,14 +96,20 @@ func (f *Fleet) admit(r *replica, s dataset.Snapshot) {
 	r.seen.Store(r.replay.Seen())
 }
 
-// publish swaps in a fresh copy-on-write snapshot of the replica's model.
-// Conductor goroutine only (the clone must see quiescent weights).
+// publish swaps in a fresh copy-on-write snapshot of the replica's model,
+// stamped from the fleet clock so snapshot ages are deterministic under a
+// fake clock.  Conductor goroutine only (the clone must see quiescent
+// weights).
 func (r *replica) publish(step int64) {
+	now := time.Now()
+	if r.clock != nil {
+		now = r.clock.Now()
+	}
 	r.snap.Store(&online.ModelSnapshot{
 		Model:     r.model.Clone(),
 		Step:      step,
 		Lambda:    r.opt.Lambda(),
-		Published: time.Now(),
+		Published: now,
 	})
 }
 

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"testing"
+
+	"fekf/internal/dataset"
+)
+
+// FuzzShardRouting drives the ingest sharder over mutating live-replica
+// sets: whatever the policy, membership and frame contents, a frame must
+// land on a live replica (or -1 exactly when none is live), hash routing
+// must be stable while the live set is unchanged, and one round-robin
+// rotation must cover every live replica.
+func FuzzShardRouting(fz *testing.F) {
+	fz.Add(uint8(3), uint8(0b101), uint8(1), int64(42), true)
+	fz.Add(uint8(1), uint8(0), uint8(0), int64(7), false)
+	fz.Add(uint8(8), uint8(0xff), uint8(3), int64(-9), true)
+	fz.Add(uint8(5), uint8(0b10010), uint8(4), int64(0), false)
+	fz.Fuzz(func(t *testing.T, nReps, aliveMask, flip uint8, seed int64, hash bool) {
+		n := int(nReps%8) + 1
+		pol := RoundRobin
+		if hash {
+			pol = HashShard
+		}
+		// A bare fleet shell is all shardOf touches: policy, replicas,
+		// their alive flags and the round-robin cursor.
+		f := &Fleet{cfg: Config{ShardPolicy: pol}}
+		for i := 0; i < n; i++ {
+			r := &replica{id: i}
+			r.alive.Store(aliveMask&(1<<uint(i)) != 0)
+			f.reps = append(f.reps, r)
+		}
+		// Deterministic frame coordinates from the fuzzed seed (LCG): the
+		// hash policy's routing key.
+		frame := dataset.Snapshot{Pos: make([]float64, 12)}
+		rnd := seed
+		for i := range frame.Pos {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			frame.Pos[i] = float64(rnd%1024) / 1024
+		}
+		check := func() {
+			live := f.liveIDs()
+			for trial := 0; trial < 2*n; trial++ {
+				id := f.shardOf(&frame)
+				if len(live) == 0 {
+					if id != -1 {
+						t.Fatalf("no live replica but frame sharded to %d", id)
+					}
+					continue
+				}
+				if id < 0 || id >= n || !f.reps[id].alive.Load() {
+					t.Fatalf("frame routed to dead or out-of-range replica %d (live %v)", id, live)
+				}
+			}
+			if len(live) == 0 {
+				return
+			}
+			if pol == HashShard {
+				want := f.shardOf(&frame)
+				for i := 0; i < 8; i++ {
+					if got := f.shardOf(&frame); got != want {
+						t.Fatalf("hash routing unstable over an unchanged live set: %d then %d", want, got)
+					}
+				}
+			} else {
+				seen := make(map[int]bool)
+				for i := 0; i < len(live); i++ {
+					seen[f.shardOf(&frame)] = true
+				}
+				if len(seen) != len(live) {
+					t.Fatalf("one round-robin rotation covered %d of %d live replicas", len(seen), len(live))
+				}
+			}
+		}
+		check()
+		// Mutate the membership — kill a live replica or revive a dead one,
+		// as the autoscaler does — and routing must follow immediately.
+		victim := int(flip) % n
+		f.reps[victim].alive.Store(!f.reps[victim].alive.Load())
+		check()
+		f.reps[victim].alive.Store(!f.reps[victim].alive.Load())
+		check()
+	})
+}

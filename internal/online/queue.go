@@ -167,6 +167,10 @@ func (q *Queue) Close() {
 // Depth returns the number of frames currently buffered.
 func (q *Queue) Depth() int { return len(q.ch) }
 
+// Occupancy returns the filled fraction of the queue in [0, 1] — the raw
+// pressure signal the fleet autoscaler samples per replica.
+func (q *Queue) Occupancy() float64 { return float64(len(q.ch)) / float64(cap(q.ch)) }
+
 // Cap returns the queue capacity.
 func (q *Queue) Cap() int { return cap(q.ch) }
 

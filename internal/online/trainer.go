@@ -414,12 +414,16 @@ func (t *Trainer) setErr(err error) {
 
 // Stats is the observable state of the trainer, served at /v1/stats.
 type Stats struct {
-	System         string  `json:"system"`
-	Steps          int64   `json:"steps"`
-	Lambda         float64 `json:"lambda"`
-	KalmanUpdates  int64   `json:"kalman_updates"`
-	QueueDepth     int     `json:"queue_depth"`
-	QueueCapacity  int     `json:"queue_capacity"`
+	System        string  `json:"system"`
+	Steps         int64   `json:"steps"`
+	Lambda        float64 `json:"lambda"`
+	KalmanUpdates int64   `json:"kalman_updates"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	// QueueOccupancy is the filled fraction of the ingest queue capacity
+	// (summed across replicas for a fleet) — the queue-pressure signal
+	// the fleet autoscaler keys on.
+	QueueOccupancy float64 `json:"queue_occupancy"`
 	FramesQueued   int64   `json:"frames_queued"`
 	FramesDropped  int64   `json:"frames_dropped"`
 	FramesGatedOut int64   `json:"frames_gated_out"`
@@ -467,6 +471,9 @@ func (t *Trainer) Stats() Stats {
 	}
 	if st.ReplayCapacity > 0 {
 		st.ReplayOccupancy = float64(st.ReplaySize) / float64(st.ReplayCapacity)
+	}
+	if st.QueueCapacity > 0 {
+		st.QueueOccupancy = float64(st.QueueDepth) / float64(st.QueueCapacity)
 	}
 	if scored := st.FramesAccepted + st.FramesGatedOut; scored > 0 {
 		st.GateAcceptRate = float64(st.FramesAccepted) / float64(scored)

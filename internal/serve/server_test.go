@@ -356,6 +356,10 @@ func TestServerFleetBackend(t *testing.T) {
 	fl, err := fleet.New(m, opt, ds, fleet.Config{
 		Replicas: 3, BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, TrainIdle: true, Seed: 5,
 		Gate: online.GateConfig{Enabled: false}, Transport: "tcp",
+		// Autoscaling enabled but held at the band floor (the trickle of 9
+		// frames into 256-slot queues never nears the scale-up edge), so
+		// the stats row is exercised without membership churn.
+		Autoscale: fleet.AutoscaleConfig{Enabled: true, Min: 3, Max: 4},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -416,7 +420,8 @@ func TestServerFleetBackend(t *testing.T) {
 	if stats.Fleet == nil {
 		t.Fatal("/v1/stats has no fleet section for a fleet backend")
 	}
-	if stats.Fleet.Replicas != 3 || stats.Fleet.Live != 3 || len(stats.Fleet.Replica) != 3 {
+	// 4 slots are pre-allocated (Autoscale.Max), 3 of them live.
+	if stats.Fleet.Replicas != 4 || stats.Fleet.Live != 3 || len(stats.Fleet.Replica) != 4 {
 		t.Fatalf("fleet stats: %+v", stats.Fleet)
 	}
 	if stats.Fleet.ShardPolicy != "round-robin" {
@@ -443,5 +448,23 @@ func TestServerFleetBackend(t *testing.T) {
 	}
 	if stats.Fleet.RingWireBytes == 0 {
 		t.Fatal("modeled ring accounting lost when running over TCP")
+	}
+	// The autoscaler row travels with the fleet section: enabled, parked
+	// at the band floor, with decision provenance once it has evaluated.
+	as := stats.Fleet.Autoscale
+	if as == nil {
+		t.Fatal("/v1/stats has no autoscale row with autoscaling enabled")
+	}
+	if !as.Enabled || as.Min != 3 || as.Max != 4 {
+		t.Fatalf("autoscale row misconfigured over HTTP: %+v", as)
+	}
+	if as.Live != 3 || as.Target != 3 {
+		t.Fatalf("autoscale moved the fleet during a trickle: %+v", as)
+	}
+	if as.ScaleUps != 0 || as.ScaleDowns != 0 {
+		t.Fatalf("autoscale scaled on a trickle: %+v", as)
+	}
+	if as.Evals > 0 && (as.LastDecision != "hold" || as.LastReason == "") {
+		t.Fatalf("autoscale row lacks decision provenance: %+v", as)
 	}
 }
