@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-pipeline race-online race-fleet race-transport race-autoscale fuzz bench bench-fleet bench-transport bench-autoscale fmt serve-smoke
+.PHONY: ci vet test race race-pipeline race-online race-fleet race-transport race-autoscale race-obs fuzz bench bench-fleet bench-transport bench-autoscale bench-obs fmt serve-smoke
 
-ci: vet test race race-pipeline race-online race-fleet race-transport race-autoscale fuzz bench-fleet bench-transport bench-autoscale serve-smoke
+ci: vet test race race-pipeline race-online race-fleet race-transport race-autoscale race-obs fuzz bench-fleet bench-transport bench-autoscale bench-obs serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,15 @@ race-fleet:
 # fake-clock controller unit tests, which share the Autoscale name).
 race-autoscale:
 	$(GO) test -race -timeout 20m -count=1 -run 'Autoscale' ./internal/fleet
+
+# The metrics registry and step tracer are written to from every hot path
+# at once — collective ranks, background drains, HTTP handlers — while
+# scrapes walk the families.  Soak concurrent register/update/scrape and
+# the instrumented trainer/fleet/serve paths under the race detector.
+race-obs:
+	$(GO) test -race -timeout 15m -count=1 ./internal/obs
+	$(GO) test -race -timeout 15m -count=1 -run 'Observability|Obs|Instrumentation' \
+		./internal/online ./internal/fleet ./internal/serve
 
 # The TCP ring transport runs four goroutines per endpoint (accept, read,
 # heartbeat, plus the caller) against shared connection state, reconnect
@@ -103,6 +112,15 @@ bench-transport:
 # latency a scale event adds between steps).  Run once in ci as a smoke.
 bench-autoscale:
 	$(GO) test ./internal/fleet -run '^$$' -bench 'AutoscaleDecision|FleetScaleTransition' -benchtime 1x
+
+# Observability overhead: the bare vs instrumented step benchmarks for
+# eyeballing, plus the paired budget test that bounds the instrumentation
+# cost of one step at < 2% of the measured step time (the A/B wall-clock
+# diff alone drowns a sub-0.1% overhead in scheduler noise, so the gate is
+# the paired measurement).
+bench-obs:
+	$(GO) test ./internal/online -run '^$$' -bench TrainStep -benchtime 1x
+	$(GO) test ./internal/online -run InstrumentationOverheadBudget -count=1 -v
 
 fmt:
 	gofmt -l .

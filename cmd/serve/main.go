@@ -19,13 +19,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -37,6 +40,7 @@ import (
 	"fekf/internal/device"
 	"fekf/internal/fleet"
 	"fekf/internal/md"
+	"fekf/internal/obs"
 	"fekf/internal/online"
 	"fekf/internal/optimize"
 	"fekf/internal/serve"
@@ -46,36 +50,40 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8234", "listen address (port 0 = random)")
-		system     = flag.String("system", "Cu", "Table-3 system for bootstrap and the MD client")
-		bootstrap  = flag.Int("bootstrap", 16, "bootstrap frames generated for normalization")
-		bs         = flag.Int("bs", 8, "online minibatch size")
-		queueSize  = flag.Int("queue", 256, "ingest queue capacity")
-		queuePol   = flag.String("queue-policy", "block", "block | drop-new | drop-old")
-		window     = flag.Int("window", 256, "replay FIFO window size")
-		reservoir  = flag.Int("reservoir", 256, "replay reservoir size")
-		snapEvery  = flag.Int("snapshot-every", 4, "steps between published model snapshots")
-		ckptPath   = flag.String("checkpoint", "", "combined checkpoint path (enables periodic checkpoints)")
-		ckptEvery  = flag.Int("checkpoint-every", 16, "steps between periodic checkpoints")
-		resume     = flag.Bool("resume", false, "resume from -checkpoint if it exists")
-		gateOn     = flag.Bool("gate", true, "ALKPU-style uncertainty gating of ingested frames")
-		gateThresh = flag.Float64("gate-threshold", 0.5, "gate threshold (fraction of the EMA score)")
-		trainIdle  = flag.Bool("train-idle", false, "keep training on the replay buffer while no frames arrive")
-		workers    = flag.Int("workers", 0, "host worker pool size (0 = GOMAXPROCS / FEKF_WORKERS)")
-		mdClient   = flag.Bool("mdclient", false, "run the synthetic MD frame producer against this server")
-		mdFrames   = flag.Int("md-frames", 0, "frames the MD client sends (0 = until shutdown)")
-		mdPeriod   = flag.Duration("md-period", 100*time.Millisecond, "delay between MD client frames")
-		replicas   = flag.Int("replicas", 1, "fleet replica count (>1 runs the replicated online fleet)")
-		autoscale  = flag.Bool("autoscale", false, "let the fleet conductor scale the live replica count from queue pressure (implies the fleet backend)")
-		replMin    = flag.Int("replicas-min", 1, "autoscaler floor on the live replica count")
-		replMax    = flag.Int("replicas-max", 0, "autoscaler ceiling on the live replica count (0 = max(replicas, 3))")
-		shardPol   = flag.String("shard-policy", "round-robin", "fleet ingest sharding: round-robin | hash")
-		transport  = flag.String("transport", "chan", "fleet ring transport: chan (in-process) | tcp (loopback sockets)")
-		peers      = flag.String("peers", "", "comma-separated ring listen addresses, rank order; runs this process as one rank of a cross-process TCP ring (own slot may be host:0)")
-		rank       = flag.Int("rank", 0, "this process's rank within -peers")
-		seed       = flag.Int64("seed", 1, "random seed")
-		smoke      = flag.Bool("smoke", false, "self-test: random port, MD frames, predicts, graceful shutdown, kill→restart resume (with -replicas N>1: fleet kill/revive + drift checks)")
-		smokeTr    = flag.Bool("smoke-transport", false, "2-process TCP ring self-test: spawn a peer process, run deterministic allreduces over real sockets, compare checksums bitwise, and exit")
+		addr        = flag.String("addr", "127.0.0.1:8234", "listen address (port 0 = random)")
+		system      = flag.String("system", "Cu", "Table-3 system for bootstrap and the MD client")
+		bootstrap   = flag.Int("bootstrap", 16, "bootstrap frames generated for normalization")
+		bs          = flag.Int("bs", 8, "online minibatch size")
+		queueSize   = flag.Int("queue", 256, "ingest queue capacity")
+		queuePol    = flag.String("queue-policy", "block", "block | drop-new | drop-old")
+		window      = flag.Int("window", 256, "replay FIFO window size")
+		reservoir   = flag.Int("reservoir", 256, "replay reservoir size")
+		snapEvery   = flag.Int("snapshot-every", 4, "steps between published model snapshots")
+		ckptPath    = flag.String("checkpoint", "", "combined checkpoint path (enables periodic checkpoints)")
+		ckptEvery   = flag.Int("checkpoint-every", 16, "steps between periodic checkpoints")
+		resume      = flag.Bool("resume", false, "resume from -checkpoint if it exists")
+		gateOn      = flag.Bool("gate", true, "ALKPU-style uncertainty gating of ingested frames")
+		gateThresh  = flag.Float64("gate-threshold", 0.5, "gate threshold (fraction of the EMA score)")
+		trainIdle   = flag.Bool("train-idle", false, "keep training on the replay buffer while no frames arrive")
+		workers     = flag.Int("workers", 0, "host worker pool size (0 = GOMAXPROCS / FEKF_WORKERS)")
+		mdClient    = flag.Bool("mdclient", false, "run the synthetic MD frame producer against this server")
+		mdFrames    = flag.Int("md-frames", 0, "frames the MD client sends (0 = until shutdown)")
+		mdPeriod    = flag.Duration("md-period", 100*time.Millisecond, "delay between MD client frames")
+		replicas    = flag.Int("replicas", 1, "fleet replica count (>1 runs the replicated online fleet)")
+		autoscale   = flag.Bool("autoscale", false, "let the fleet conductor scale the live replica count from queue pressure (implies the fleet backend)")
+		replMin     = flag.Int("replicas-min", 1, "autoscaler floor on the live replica count")
+		replMax     = flag.Int("replicas-max", 0, "autoscaler ceiling on the live replica count (0 = max(replicas, 3))")
+		shardPol    = flag.String("shard-policy", "round-robin", "fleet ingest sharding: round-robin | hash")
+		transport   = flag.String("transport", "chan", "fleet ring transport: chan (in-process) | tcp (loopback sockets)")
+		peers       = flag.String("peers", "", "comma-separated ring listen addresses, rank order; runs this process as one rank of a cross-process TCP ring (own slot may be host:0)")
+		rank        = flag.Int("rank", 0, "this process's rank within -peers")
+		metricsAddr = flag.String("metrics-addr", "", "standalone metrics listener address serving /metrics, /v1/trace and pprof (\"\" = main listener only)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the main listener")
+		traceBuf    = flag.Int("trace-buf", 128, "step traces retained for GET /v1/trace")
+
+		seed    = flag.Int64("seed", 1, "random seed")
+		smoke   = flag.Bool("smoke", false, "self-test: random port, MD frames, predicts, /metrics scrape, graceful shutdown, kill→restart resume (with -replicas N>1: fleet kill/revive + drift checks)")
+		smokeTr = flag.Bool("smoke-transport", false, "2-process TCP ring self-test: spawn a peer process, run deterministic allreduces over real sockets, compare checksums bitwise, and exit")
 	)
 	flag.Parse()
 	tensor.SetWorkers(*workers)
@@ -129,6 +137,9 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(*traceBuf)
+
 	var be serve.Backend
 	if *replicas > 1 || *autoscale {
 		fcfg := fleet.Config{
@@ -147,6 +158,8 @@ func main() {
 			Seed:            *seed,
 			Transport:       *transport,
 			Autoscale:       ascfg,
+			Metrics:         fleet.NewMetrics(reg),
+			Trace:           tracer,
 		}
 		fl, err := buildFleet(*system, *bootstrap, *seed, *resume, *ckptPath, fcfg)
 		if err != nil {
@@ -167,6 +180,8 @@ func main() {
 			Gate:            gateConfig(*gateOn, *gateThresh),
 			TrainIdle:       *trainIdle,
 			Seed:            *seed,
+			Metrics:         online.NewMetrics(reg),
+			Trace:           tracer,
 		}
 		tr, err := buildTrainer(*system, *bootstrap, *seed, *resume, *ckptPath, tcfg)
 		if err != nil {
@@ -176,11 +191,18 @@ func main() {
 		be = tr
 	}
 
-	srv := serve.New(be, serve.Config{Addr: *addr})
+	srv := serve.New(be, serve.Config{Addr: *addr, Metrics: reg, Trace: tracer, EnablePprof: *pprofOn})
 	if err := srv.Start(); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
-	log.Printf("serving %s on http://%s with %d replica(s)  (POST /v1/frames, POST /v1/predict, GET /healthz, GET /v1/stats)",
+	if *metricsAddr != "" {
+		maddr, err := startMetricsServer(*metricsAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("serve: metrics listener: %v", err)
+		}
+		log.Printf("metrics on http://%s (GET /metrics, GET /v1/trace, /debug/pprof/)", maddr)
+	}
+	log.Printf("serving %s on http://%s with %d replica(s)  (POST /v1/frames, POST /v1/predict, GET /healthz, GET /v1/stats, GET /metrics, GET /v1/trace)",
 		*system, srv.Addr(), *replicas)
 
 	stopClient := make(chan struct{})
@@ -210,6 +232,75 @@ func main() {
 	st := be.Stats()
 	log.Printf("drained: %d steps, λ=%.6f, %d frames accepted, %d gated out, %d checkpoints",
 		st.Steps, st.Lambda, st.FramesAccepted, st.FramesGatedOut, st.Checkpoints)
+}
+
+// startMetricsServer binds a standalone ops listener serving the metrics
+// registry, the step tracer and pprof — free of the API server's request
+// timeouts, so long profile captures work.
+func startMetricsServer(addr string, reg *obs.Registry, tr *obs.Tracer) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /v1/trace", tr.Handler())
+	obs.MountPprof(mux)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
+// scrapeMetrics fetches /metrics, verifies every sample line parses as
+// `name[{labels}] value` with a float value, and returns the per-family
+// sample counts (histogram series keep their _bucket/_sum/_count names).
+func scrapeMetrics(client *http.Client, base string) (map[string]int, error) {
+	r, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %s", r.Status)
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	samples := map[string]int{}
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("/metrics: unparseable sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			return nil, fmt.Errorf("/metrics: bad value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		samples[name]++
+	}
+	return samples, nil
+}
+
+// requireMetrics scrapes /metrics and fails unless every named series has
+// at least one parseable sample.
+func requireMetrics(client *http.Client, base string, series ...string) (map[string]int, error) {
+	samples, err := scrapeMetrics(client, base)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range series {
+		if samples[s] == 0 {
+			return samples, fmt.Errorf("/metrics is missing %s (got %d series)", s, len(samples))
+		}
+	}
+	return samples, nil
 }
 
 func gateConfig(on bool, threshold float64) online.GateConfig {
@@ -461,17 +552,20 @@ func runSmoke(system string, seed int64) error {
 	defer os.RemoveAll(dir)
 	ckpt := dir + "/online.ckpt"
 
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(64)
 	tcfg := online.TrainerConfig{
 		BatchSize: 4, QueueSize: 64, WindowSize: 64, ReservoirSize: 64,
 		SnapshotEvery: 2, CheckpointPath: ckpt, CheckpointEvery: 4,
 		Gate: gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
+		Metrics: online.NewMetrics(reg), Trace: tracer,
 	}
 	tr, err := buildTrainer(system, 8, seed, false, "", tcfg)
 	if err != nil {
 		return err
 	}
 	tr.Start()
-	srv := serve.New(tr, serve.Config{Addr: "127.0.0.1:0"})
+	srv := serve.New(tr, serve.Config{Addr: "127.0.0.1:0", Metrics: reg, Trace: tracer})
 	if err := srv.Start(); err != nil {
 		return err
 	}
@@ -511,6 +605,35 @@ func runSmoke(system string, seed int64) error {
 	}
 	log.Printf("smoke: %d steps, λ=%.6f, %d accepted, %d gated out, %d predict batches",
 		st.Steps, st.Lambda, st.FramesAccepted, st.FramesGatedOut, st.PredictBatches)
+
+	// the Prometheus exposition carries the core trainer/serving families
+	samples, err := requireMetrics(client, base,
+		"fekf_train_step_seconds_count", "fekf_train_step_seconds_bucket",
+		"fekf_ingest_queue_depth", "fekf_train_steps_total",
+		"fekf_http_requests_total", "fekf_http_request_seconds_count")
+	if err != nil {
+		return err
+	}
+	// the step tracer recorded phase timelines with non-zero durations
+	var tresp obs.TraceResponse
+	if err := getJSON(client, base+"/v1/trace", &tresp); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if len(tresp.Steps) == 0 {
+		return fmt.Errorf("/v1/trace recorded no steps")
+	}
+	sawStep := false
+	for _, stepTr := range tresp.Steps {
+		for _, sp := range stepTr.Spans {
+			if sp.Name == "step" && sp.DurNs > 0 {
+				sawStep = true
+			}
+		}
+	}
+	if !sawStep {
+		return fmt.Errorf("/v1/trace has no non-zero step span: %+v", tresp.Steps)
+	}
+	log.Printf("smoke: /metrics exposed %d series, /v1/trace holds %d step timelines", len(samples), len(tresp.Steps))
 
 	// graceful shutdown drains and writes the final checkpoint
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -552,19 +675,22 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	defer os.RemoveAll(dir)
 	ckpt := dir + "/fleet.ckpt"
 
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(64)
 	fcfg := fleet.Config{
 		Replicas: replicas, ShardPolicy: shard,
 		BatchSize: 2, MinFrames: 2, QueueSize: 64, WindowSize: 64, ReservoirSize: 64,
 		SnapshotEvery: 1, CheckpointPath: ckpt, CheckpointEvery: 4,
 		Gate: gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
 		Transport: transport,
+		Metrics:   fleet.NewMetrics(reg), Trace: tracer,
 	}
 	fl, err := buildFleet(system, 8, seed, false, "", fcfg)
 	if err != nil {
 		return err
 	}
 	fl.Start()
-	srv := serve.New(fl, serve.Config{Addr: "127.0.0.1:0"})
+	srv := serve.New(fl, serve.Config{Addr: "127.0.0.1:0", Metrics: reg, Trace: tracer})
 	if err := srv.Start(); err != nil {
 		return err
 	}
@@ -627,6 +753,36 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	}
 	log.Printf("fleet smoke: %d lockstep steps, λ=%.6f, drift 0/0, %d ring ops (%d modeled B; %d measured B over %s)",
 		st.Steps, st.Lambda, st.Fleet.RingOps, st.Fleet.RingWireBytes, st.Fleet.Transport.BytesSent, st.Fleet.Transport.Kind)
+
+	// the exposition covers trainer, fleet, autoscaler-slot and transport
+	// families while the fleet trains under load
+	samples, err := requireMetrics(client, base,
+		"fekf_fleet_step_seconds_count", "fekf_fleet_step_seconds_bucket",
+		"fekf_ingest_queue_depth", "fekf_fleet_live_replicas",
+		"fekf_transport_sent_bytes_total", "fekf_http_requests_total")
+	if err != nil {
+		return err
+	}
+	// the step tracer shows every collective phase with non-zero duration
+	var tresp obs.TraceResponse
+	if err := getJSON(client, base+"/v1/trace", &tresp); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	need := map[string]bool{"backward": false, "allreduce": false, "gain": false, "drain": false}
+	for _, stepTr := range tresp.Steps {
+		for _, sp := range stepTr.Spans {
+			if done, tracked := need[sp.Name]; tracked && !done && sp.DurNs > 0 {
+				need[sp.Name] = true
+			}
+		}
+	}
+	for phase, seen := range need {
+		if !seen {
+			return fmt.Errorf("/v1/trace has no non-zero %q span across %d steps", phase, len(tresp.Steps))
+		}
+	}
+	log.Printf("fleet smoke: /metrics exposed %d series; /v1/trace holds %d timelines with backward/allreduce/gain/drain spans",
+		len(samples), len(tresp.Steps))
 
 	// kill a replica: predicts must keep answering, survivors must keep
 	// stepping with zero drift
@@ -712,6 +868,8 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 // (the accept-rate weighting itself is covered by the deterministic
 // controller tests in internal/fleet).
 func runAutoscaleSmoke(system string, seed int64, transport string) error {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(64)
 	fcfg := fleet.Config{
 		Replicas: 1, BatchSize: 2, MinFrames: 2,
 		QueueSize: 8, QueuePolicy: online.DropNewest,
@@ -723,13 +881,14 @@ func runAutoscaleSmoke(system string, seed int64, transport string) error {
 			Interval:   20 * time.Millisecond,
 			UpCooldown: 50 * time.Millisecond, DownCooldown: 200 * time.Millisecond,
 		},
+		Metrics: fleet.NewMetrics(reg), Trace: tracer,
 	}
 	fl, err := buildFleet(system, 8, seed, false, "", fcfg)
 	if err != nil {
 		return err
 	}
 	fl.Start()
-	srv := serve.New(fl, serve.Config{Addr: "127.0.0.1:0"})
+	srv := serve.New(fl, serve.Config{Addr: "127.0.0.1:0", Metrics: reg, Trace: tracer})
 	if err := srv.Start(); err != nil {
 		return err
 	}
@@ -816,6 +975,16 @@ func runAutoscaleSmoke(system string, seed int64, transport string) error {
 	}
 	log.Printf("autoscale smoke: scaled down to %d live at step %d (%d ups / %d downs over %d evals), drift 0/0",
 		st.Fleet.Live, st.Steps, st.Fleet.Autoscale.ScaleUps, st.Fleet.Autoscale.ScaleDowns, st.Fleet.Autoscale.Evals)
+
+	// the autoscale cycle left its mark on the exposition
+	samples, err := requireMetrics(client, base,
+		"fekf_fleet_autoscale_evals_total", "fekf_fleet_scale_ups_total",
+		"fekf_fleet_scale_downs_total", "fekf_autoscale_pressure",
+		"fekf_fleet_revives_total", "fekf_fleet_kills_total")
+	if err != nil {
+		return err
+	}
+	log.Printf("autoscale smoke: /metrics exposed %d series including the autoscale counters", len(samples))
 
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()

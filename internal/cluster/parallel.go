@@ -4,12 +4,21 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
 	"fekf/internal/optimize"
 )
+
+// SpanSink receives per-phase timings from a rank's step execution —
+// backward, ring allreduce, Kalman gain, covariance drain.  Implemented by
+// obs.StepRecorder; implementations must be safe for concurrent calls
+// (ranks run concurrently and drains complete on background goroutines).
+type SpanSink interface {
+	Span(rank int, name string, start time.Time, dur time.Duration)
+}
 
 // DataParallelFEKF trains FEKF over r simulated GPU ranks: the minibatch
 // is split into r chunks (Figure 5(a)), each rank computes its partial
@@ -134,6 +143,9 @@ type StepParams struct {
 	// Pipeline overlaps each measurement's P drain with the next group's
 	// backward and allreduce (bitwise identical to the serial schedule).
 	Pipeline bool
+	// Spans, when non-nil, receives the step's phase timings (backward,
+	// allreduce, gain, drain).  Nil costs one pointer check per phase.
+	Spans SpanSink
 }
 
 // RankStep executes one rank's role in a distributed FEKF step over ring:
@@ -166,11 +178,29 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 	}
 	active := err == nil && env != nil && lab != nil
 
+	// Phase tracing: when p.Spans is set every backward / allreduce /
+	// gain region is timed, and each deferred covariance drain is wrapped
+	// so its background execution reports a "drain" span.  Disabled, the
+	// instrumentation is a handful of nil checks.
+	trace := p.Spans
+	var t0 time.Time
+	span := func(name string) {
+		if trace != nil {
+			trace.Span(rank, name, t0, time.Since(t0))
+		}
+	}
+	mark := func() {
+		if trace != nil {
+			t0 = time.Now()
+		}
+	}
+
 	// ---- energy update: every rank reduces and applies; a failed or idle
 	// rank's partials stay zero.  With the pipeline on, the energy P drain
 	// overlaps the force forward pass below.
 	buf := make([]float64, nParams+2)
 	var out *deepmd.Output
+	mark()
 	if active {
 		out = m.Forward(env, false)
 		seedE, absSum := optimize.EnergySeed(out, lab)
@@ -178,6 +208,8 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 		buf[nParams] = absSum
 		buf[nParams+1] = float64(len(idx))
 	}
+	span("backward")
+	mark()
 	if cerr := ring.Allreduce(rank, buf); cerr != nil {
 		// The ring broke mid-collective: the reduced buffer is in an
 		// unspecified partial state and must not be applied.  No Kalman
@@ -187,13 +219,28 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 		}
 		return optimize.StepInfo{}, fmt.Errorf("energy allreduce: %w", cerr)
 	}
+	span("allreduce")
 	abe := 0.0
 	wait := func() {}
+	// tracedDrain wraps a deferred covariance drain so the background
+	// goroutine (or the inline call, pipeline off) reports its own span.
+	tracedDrain := func(drain func()) func() {
+		if trace == nil {
+			return drain
+		}
+		return func() {
+			d0 := time.Now()
+			drain()
+			trace.Span(rank, "drain", d0, time.Since(d0))
+		}
+	}
 	if buf[nParams+1] > 0 {
 		abe = buf[nParams] / (buf[nParams+1] * p.EnergyDiv)
+		mark()
 		delta, drain := ks.UpdateSplit(buf[:nParams], abe, p.Scale)
 		m.Params.AddFlat(delta)
-		wait = optimize.StartDrain(drain, p.Pipeline)
+		span("gain")
+		wait = optimize.StartDrain(tracedDrain(drain), p.Pipeline)
 	}
 	if out != nil {
 		out.Graph.Release()
@@ -209,19 +256,24 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 	// unchanged.
 	var out2 *deepmd.Output
 	fErr := make([]float64, 2) // Σ|ΔF| and component count, for StepInfo
+	mark()
 	if active {
 		out2 = m.Forward(env, true)
 		sum, count := optimize.ForceErrorSum(out2, lab)
 		fErr[0], fErr[1] = sum, float64(count)
 	}
+	span("backward")
 	for grp := 0; grp < p.ForceGroups; grp++ {
 		fbuf := make([]float64, nParams+2)
+		mark()
 		if out2 != nil {
 			seedF, fSum, count := optimize.ForceSeed(out2, lab, grp, p.ForceGroups)
 			copy(fbuf, m.ForceGrad(out2, seedF))
 			fbuf[nParams] = fSum
 			fbuf[nParams+1] = float64(count)
 		}
+		span("backward")
+		mark()
 		if cerr := ring.Allreduce(rank, fbuf); cerr != nil {
 			// Join the previous group's in-flight P drain before bailing:
 			// the drain mutates the covariance in the background and must
@@ -233,12 +285,15 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 			}
 			return optimize.StepInfo{EnergyABE: abe}, fmt.Errorf("force group %d allreduce: %w", grp, cerr)
 		}
+		span("allreduce")
 		if fbuf[nParams+1] > 0 {
 			fabe := fbuf[nParams] / (fbuf[nParams+1] * p.ForceDiv)
 			wait()
+			mark()
 			delta, drain := ks.UpdateSplit(fbuf[:nParams], fabe, p.Scale)
 			m.Params.AddFlat(delta)
-			wait = optimize.StartDrain(drain, p.Pipeline)
+			span("gain")
+			wait = optimize.StartDrain(tracedDrain(drain), p.Pipeline)
 		}
 	}
 
@@ -246,6 +301,7 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 	// matches the single-device contract (batch-global mean absolute
 	// force-component error).  It overlaps the last group's drain, which is
 	// joined before the step returns.
+	mark()
 	if cerr := ring.AllreduceScalars(rank, fErr); cerr != nil {
 		wait()
 		if out2 != nil {
@@ -253,6 +309,7 @@ func RankStep(ring *Ring, rank int, m *deepmd.Model, ks *optimize.KalmanState, p
 		}
 		return optimize.StepInfo{EnergyABE: abe}, fmt.Errorf("force-error allreduce: %w", cerr)
 	}
+	span("allreduce")
 	forceABE := 0.0
 	if fErr[1] > 0 {
 		forceABE = fErr[0] / fErr[1]

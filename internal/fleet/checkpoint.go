@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
@@ -115,7 +116,11 @@ func (f *Fleet) WriteCheckpoint(path string) error {
 }
 
 func (f *Fleet) writeCheckpointCounted(path string) error {
+	c0 := time.Now()
 	err := f.WriteCheckpoint(path)
+	if m := f.cfg.Metrics; m != nil {
+		m.CheckpointSeconds.Observe(time.Since(c0).Seconds())
+	}
 	if err == nil {
 		f.ckWrites.Add(1)
 	}

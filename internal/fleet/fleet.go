@@ -14,6 +14,7 @@ import (
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
 	"fekf/internal/md"
+	"fekf/internal/obs"
 	"fekf/internal/online"
 	"fekf/internal/optimize"
 )
@@ -75,6 +76,13 @@ type Config struct {
 	// max(Autoscale.Max, Replicas) slots up front and starts with
 	// Replicas (clamped into the band) of them live.
 	Autoscale AutoscaleConfig
+	// Metrics, when non-nil, receives step/checkpoint latency and
+	// membership/autoscale event counts (see NewMetrics).
+	Metrics *Metrics
+	// Trace, when non-nil, records per-step phase timelines — conductor
+	// phases plus every rank's backward/allreduce/gain/drain spans — into
+	// the ring served at /v1/trace.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +130,11 @@ type Fleet struct {
 	reps   []*replica
 	router *Router
 	clock  Clock
+
+	// rec accumulates the phase spans of the upcoming lockstep step
+	// (ingest/gate activity between steps is attributed to the step it
+	// feeds).  Owned by the conductor; nil when tracing is off.
+	rec *obs.StepRecorder
 
 	// autoscaler state: the controller itself (nil when disabled), the
 	// conductor-owned evaluation bookkeeping, and the mirrored
@@ -364,6 +377,9 @@ func (f *Fleet) killLocked(id int) error {
 		return fmt.Errorf("fleet: replica %d is already dead", id)
 	}
 	f.reps[id].alive.Store(false)
+	if m := f.cfg.Metrics; m != nil {
+		m.Kills.Inc()
+	}
 	return nil
 }
 
@@ -400,6 +416,9 @@ func (f *Fleet) reviveLocked(id int) error {
 	}
 	r.alive.Store(true)
 	r.publish(f.steps.Load())
+	if m := f.cfg.Metrics; m != nil {
+		m.Revives.Inc()
+	}
 	return nil
 }
 
@@ -500,10 +519,19 @@ func (f *Fleet) maybeAutoscale() {
 	}
 	f.peakOcc = 0
 	v := f.scaler.Evaluate(s)
+	if m := f.cfg.Metrics; m != nil {
+		m.AutoscaleEvals.Inc()
+	}
 	switch v.Decision {
 	case ScaleUp:
+		if m := f.cfg.Metrics; m != nil {
+			m.ScaleUps.Inc()
+		}
 		f.scaleUp(live)
 	case ScaleDown:
+		if m := f.cfg.Metrics; m != nil {
+			m.ScaleDowns.Inc()
+		}
 		f.scaleDown(live)
 	}
 }
@@ -655,7 +683,11 @@ func (f *Fleet) retireRing() {
 func (f *Fleet) recoverRing(ring *cluster.Ring, cause error) []int {
 	for _, rank := range ring.Transport().Dead() {
 		if rank >= 0 && rank < len(f.ringIDs) {
-			f.reps[f.ringIDs[rank]].alive.Store(false)
+			if f.reps[f.ringIDs[rank]].alive.Swap(false) {
+				if m := f.cfg.Metrics; m != nil {
+					m.Kills.Inc()
+				}
+			}
 		}
 	}
 	f.retireRing()
@@ -706,6 +738,10 @@ func (f *Fleet) step() {
 	if len(live) == 0 {
 		return
 	}
+	if f.cfg.Trace != nil && f.rec == nil {
+		f.rec = f.cfg.Trace.Begin()
+	}
+	rec := f.rec
 	type share struct {
 		ds  *dataset.Dataset
 		idx []int
@@ -713,6 +749,7 @@ func (f *Fleet) step() {
 	shares := make([]share, len(live))
 	total := 0
 	na := int(f.naPer.Load())
+	s0 := time.Now()
 	for k, id := range live {
 		batch := f.reps[id].replay.Sample(f.cfg.BatchSize)
 		if len(batch) == 0 {
@@ -731,6 +768,7 @@ func (f *Fleet) step() {
 			na = batch[0].NumAtoms()
 		}
 	}
+	rec.Span(-1, "sample", s0, time.Since(s0))
 	if total == 0 {
 		return
 	}
@@ -746,6 +784,9 @@ func (f *Fleet) step() {
 		ForceDiv:    ref.ForceDiv.Value(na),
 		ForceGroups: ref.ForceGroups,
 		Pipeline:    ref.Pipeline,
+	}
+	if rec != nil {
+		params.Spans = rec
 	}
 	stepNo := f.steps.Load()
 	t0 := f.clock.Now()
@@ -785,20 +826,30 @@ func (f *Fleet) step() {
 		}
 	}
 	f.updateInvariants(live)
-	f.noteStepLatency(f.clock.Now().Sub(t0))
+	lat := f.clock.Now().Sub(t0)
+	f.noteStepLatency(lat)
+	if m := f.cfg.Metrics; m != nil {
+		m.StepSeconds.Observe(lat.Seconds())
+	}
 	if f.cfg.OnStep != nil {
 		f.cfg.OnStep(n, infos[0])
 	}
 	if n%int64(f.cfg.SnapshotEvery) == 0 {
+		p0 := time.Now()
 		for _, id := range live {
 			f.reps[id].publish(n)
 		}
+		rec.Span(-1, "snapshot_publish", p0, time.Since(p0))
 	}
 	if f.cfg.CheckpointEvery > 0 && f.cfg.CheckpointPath != "" && n%int64(f.cfg.CheckpointEvery) == 0 {
+		c0 := time.Now()
 		if err := f.writeCheckpointCounted(f.cfg.CheckpointPath); err != nil {
 			f.setErr(fmt.Errorf("checkpoint: %w", err))
 		}
+		rec.Span(-1, "checkpoint", c0, time.Since(c0))
 	}
+	rec.End(n)
+	f.rec = nil
 }
 
 // updateInvariants refreshes the fleet's consistency gauges: the maximum

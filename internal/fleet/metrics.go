@@ -1,0 +1,47 @@
+package fleet
+
+import "fekf/internal/obs"
+
+// Metrics is the fleet's push-side instrument set: latency distributions
+// and membership/autoscale event counters observed where they happen.
+// Scrape-time state (live replicas, drift, transport ledgers, autoscale
+// pressure) is exported by the serving layer as func metrics reading
+// FleetStats, so it costs the conductor nothing here.
+type Metrics struct {
+	// StepSeconds observes the wall time of each lockstep fleet step.
+	StepSeconds *obs.Histogram
+	// CheckpointSeconds observes the wall time of each fleet checkpoint.
+	CheckpointSeconds *obs.Histogram
+	// Kills and Revives count membership changes, from whatever cause —
+	// explicit Kill/Revive, autoscale resizes, ring-failure recovery.
+	Kills   *obs.Counter
+	Revives *obs.Counter
+	// AutoscaleEvals counts controller evaluations; ScaleUps and
+	// ScaleDowns count applied resize decisions.
+	AutoscaleEvals *obs.Counter
+	ScaleUps       *obs.Counter
+	ScaleDowns     *obs.Counter
+}
+
+// NewMetrics registers the fleet's metric families on reg.  Register at
+// most once per registry: duplicate registration panics by design.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		StepSeconds: reg.Histogram("fekf_fleet_step_seconds",
+			"Wall time of one lockstep fleet step across all live replicas.",
+			obs.DefSecondsBuckets).With(),
+		CheckpointSeconds: reg.Histogram("fekf_fleet_checkpoint_seconds",
+			"Wall time of one fleet checkpoint write.",
+			obs.DefSecondsBuckets).With(),
+		Kills: reg.Counter("fekf_fleet_kills_total",
+			"Replicas marked dead (explicit kills, autoscale shrinks, ring-failure recovery).").With(),
+		Revives: reg.Counter("fekf_fleet_revives_total",
+			"Replicas rejoined through checkpoint catch-up.").With(),
+		AutoscaleEvals: reg.Counter("fekf_fleet_autoscale_evals_total",
+			"Queue-pressure autoscaler evaluations.").With(),
+		ScaleUps: reg.Counter("fekf_fleet_scale_ups_total",
+			"Applied autoscale grow decisions.").With(),
+		ScaleDowns: reg.Counter("fekf_fleet_scale_downs_total",
+			"Applied autoscale shrink decisions.").With(),
+	}
+}

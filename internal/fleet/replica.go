@@ -77,8 +77,15 @@ func newReplica(id int, m *deepmd.Model, opt *optimize.FEKF, cfg Config) (*repli
 // admit runs one frame through the replica's gate into its replay buffer.
 // Conductor goroutine only.
 func (f *Fleet) admit(r *replica, s dataset.Snapshot) {
+	if f.cfg.Trace != nil && f.rec == nil {
+		f.rec = f.cfg.Trace.Begin()
+	}
+	a0 := time.Now()
+	defer func() { f.rec.Span(r.id, "ingest_admit", a0, time.Since(a0)) }()
 	scratch := &dataset.Dataset{System: f.system, Species: f.species, Snapshots: []dataset.Snapshot{s}}
+	g0 := time.Now()
 	ok, _, err := r.gate.Admit(r.model, r.opt.PDiagonal(), scratch, 0)
+	f.rec.Span(r.id, "gate", g0, time.Since(g0))
 	if err != nil {
 		f.setErr(fmt.Errorf("replica %d gate: %w", r.id, err))
 		return

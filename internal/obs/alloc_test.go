@@ -1,0 +1,49 @@
+//go:build !race
+
+package obs
+
+import "testing"
+
+// TestHotPathAllocationFree pins the steady-state contract: once a metric
+// child is resolved, updates are pure atomic operations with zero heap
+// allocations.  (Skipped under -race, whose instrumentation allocates.)
+func TestHotPathAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("evt_total", "events", "kind").With("a")
+	g := reg.Gauge("depth", "depth").With()
+	h := reg.Histogram("lat_seconds", "latency", DefSecondsBuckets).With()
+	tr := NewTracer(4)
+	rec := tr.Begin()
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.Add", func() { g.Add(0.5) }},
+		{"Histogram.Observe", func() { h.Observe(0.003) }},
+		{"nil StepRecorder.Span", func() {
+			var nilRec *StepRecorder
+			nilRec.Span(0, "x", rec.StartTime(), 0)
+		}},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(1000, tc.fn); n != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestVecWithSteadyStateAllocationFree checks that re-resolving an
+// existing child (the fallback for call sites that cannot cache the
+// pointer) stays allocation-free after first use.
+func TestVecWithSteadyStateAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.Counter("req_total", "requests", "route")
+	v.With("/a").Inc() // create the child outside the measured loop
+	if n := testing.AllocsPerRun(1000, func() { v.With("/a").Inc() }); n != 0 {
+		t.Errorf("CounterVec.With on existing child allocates %.1f per op, want 0", n)
+	}
+}

@@ -1,0 +1,27 @@
+// Package obs is the dependency-free observability substrate of the
+// training/serving stack: a typed metrics registry (atomic counters,
+// gauges and fixed-bucket histograms with label support, allocation-free
+// on steady-state hot paths), Prometheus text-format exposition, and a
+// bounded ring-buffer step tracer recording per-training-step phase spans
+// (ingest admit, gate, backward, Kalman gain, covariance drain, ring
+// allreduce, snapshot publish).
+//
+// The registry validates metric names promlint-style at registration
+// time (snake_case, base-unit suffixes, counters end in _total, no
+// duplicate registration) so a bad name fails the first test that touches
+// it instead of silently producing an unscrapable family.
+//
+// Two metric styles coexist:
+//
+//   - push metrics (Counter.Inc, Gauge.Set, Histogram.Observe) for events
+//     observed where they happen — step latency, request latency, scale
+//     decisions.  Updates are single atomic operations: no locks, no
+//     allocations, safe from any goroutine.
+//   - pull metrics (CounterFunc / GaugeFunc + AddCollector) evaluated
+//     once per scrape, reading state another layer already maintains —
+//     queue depths, drift gauges, transport ledgers — so /metrics and
+//     /v1/stats are backed by the same source instead of parallel
+//     bookkeeping.
+//
+// See DESIGN.md, "Observability subsystem".
+package obs

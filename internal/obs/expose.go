@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4): collectors run first so func metrics and
+// collector-fed gauges reflect one consistent snapshot, then families are
+// emitted sorted by name with their children sorted by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	collectors, fams := r.snapshot()
+	for _, c := range collectors {
+		c()
+	}
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(string(f.typ))
+	b.WriteByte('\n')
+
+	if f.fn != nil {
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(f.fn()))
+		b.WriteByte('\n')
+		return
+	}
+
+	f.mu.RLock()
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].values, labelSep) < strings.Join(children[j].values, labelSep)
+	})
+
+	for _, c := range children {
+		switch f.typ {
+		case TypeCounter:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, c.values, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(c.ctr.Value(), 10))
+			b.WriteByte('\n')
+		case TypeGauge:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, c.values, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(c.gauge.Value()))
+			b.WriteByte('\n')
+		case TypeHistogram:
+			writeHistogram(b, f, c)
+		}
+	}
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and _count.
+// Bucket counts are loaded once into locals so the +Inf bucket and _count
+// agree even while observations race the scrape.
+func writeHistogram(b *strings.Builder, f *family, c *child) {
+	h := c.hist
+	var cum uint64
+	for i, upper := range h.upper {
+		cum += h.counts[i].Load()
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labels, c.values, "le", upper)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	cum += h.counts[len(h.upper)].Load()
+	b.WriteString(f.name)
+	b.WriteString("_bucket")
+	writeLabelsInf(b, f.labels, c.values)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+
+	b.WriteString(f.name)
+	b.WriteString("_sum")
+	writeLabels(b, f.labels, c.values, "", 0)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(f.name)
+	b.WriteString("_count")
+	writeLabels(b, f.labels, c.values, "", 0)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+// writeLabels renders {a="x",b="y"} (nothing when there are no labels);
+// le, when non-empty, is appended as the histogram bucket bound.
+func writeLabels(b *strings.Builder, names, values []string, le string, bound float64) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(le)
+		b.WriteString(`="`)
+		b.WriteString(formatFloat(bound))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// writeLabelsInf renders the +Inf bucket's label set.
+func writeLabelsInf(b *strings.Builder, names, values []string) {
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if len(names) > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"}`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, integers without a decimal point.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, quotes and newlines in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

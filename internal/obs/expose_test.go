@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with deterministic values covering the
+// exposition corners: family name sorting, label-value sorting, HELP and
+// label escaping, cumulative histogram buckets and func-backed metrics.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+
+	rq := reg.Counter("demo_requests_total", "Requests by route and code.", "route", "code")
+	rq.With("/b", "500").Inc()
+	rq.With("/a", "200").Add(3)
+
+	esc := reg.Counter("demo_esc_total", `Counts "quoted" paths.`, "path")
+	esc.With(`a"b\c`).Inc()
+
+	reg.Gauge("demo_escape", "line1\nback\\slash").With().Set(0)
+	reg.Gauge("demo_queue_depth", "Queue depth.").With().Set(2.5)
+
+	h := reg.Histogram("demo_lat_seconds", "Latency.", []float64{0.1, 1}).With()
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	reg.GaugeFunc("demo_up", "Func-backed gauge.", func() float64 { return 7 })
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch (run with -update to rewrite)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramInfMatchesCount pins the scrape-consistency contract: the
+// +Inf bucket and _count come from the same set of loaded bucket counts,
+// so they are always equal within one exposition.
+func TestHistogramInfMatchesCount(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x_seconds", "x", []float64{1}).With()
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i))
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var inf, count string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, `x_seconds_bucket{le="+Inf"}`) {
+			inf = line[strings.LastIndexByte(line, ' ')+1:]
+		}
+		if strings.HasPrefix(line, "x_seconds_count") {
+			count = line[strings.LastIndexByte(line, ' ')+1:]
+		}
+	}
+	if inf == "" || count == "" || inf != count {
+		t.Fatalf("+Inf bucket %q != _count %q", inf, count)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the registry at GET /metrics in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(b.String()))
+	})
+}
+
+// TraceResponse is the GET /v1/trace body: ring bookkeeping plus the last
+// N step traces, oldest first.
+type TraceResponse struct {
+	Capacity int         `json:"capacity"`
+	Recorded int64       `json:"recorded"`
+	Dropped  int64       `json:"dropped"`
+	Steps    []StepTrace `json:"steps"`
+}
+
+// Handler serves the tracer at GET /v1/trace as JSON; ?n=K limits the
+// response to the most recent K traces.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, `{"error":"n must be a non-negative integer"}`, http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TraceResponse{
+			Capacity: t.Capacity(),
+			Recorded: t.Recorded(),
+			Dropped:  t.Dropped(),
+			Steps:    t.Last(n),
+		})
+	})
+}
+
+// MountPprof wires the net/http/pprof handlers onto mux under
+// /debug/pprof/ without touching http.DefaultServeMux.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

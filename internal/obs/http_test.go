@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("evt_total", "events").With().Add(9)
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "evt_total 9\n") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestTracerHandler(t *testing.T) {
+	tr := NewTracer(4)
+	for step := int64(1); step <= 6; step++ {
+		r := tr.Begin()
+		r.Span(-1, "step", r.StartTime(), time.Microsecond)
+		r.End(step)
+	}
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/trace?n=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	var resp TraceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Capacity != 4 || resp.Recorded != 6 || resp.Dropped != 2 {
+		t.Errorf("bookkeeping = %d/%d/%d, want 4/6/2", resp.Capacity, resp.Recorded, resp.Dropped)
+	}
+	if len(resp.Steps) != 2 || resp.Steps[0].Step != 5 || resp.Steps[1].Step != 6 {
+		t.Errorf("steps = %+v, want 5,6", resp.Steps)
+	}
+
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/trace?n=bogus", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad n: status = %d, want 400", rec.Code)
+	}
+}

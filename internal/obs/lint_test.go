@@ -1,0 +1,82 @@
+package obs
+
+import "testing"
+
+func TestLintNameAccepts(t *testing.T) {
+	good := []struct {
+		name string
+		typ  MetricType
+	}{
+		{"fekf_train_steps_total", TypeCounter},
+		{"fekf_lambda", TypeGauge},
+		{"fekf_step_seconds", TypeHistogram},
+		{"fekf_wire_bytes_total", TypeCounter},
+		{"queue_depth", TypeGauge},
+		{"a2b_ratio", TypeGauge},
+	}
+	for _, g := range good {
+		if err := LintName(g.name, g.typ); err != nil {
+			t.Errorf("LintName(%q, %s) = %v, want nil", g.name, g.typ, err)
+		}
+	}
+}
+
+func TestLintNameRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		typ  MetricType
+		why  string
+	}{
+		{"", TypeGauge, "empty"},
+		{"fekf_steps", TypeCounter, "counter without _total"},
+		{"fekf_steps_total", TypeGauge, "gauge with _total"},
+		{"fekf_latency_total", TypeHistogram, "histogram with _total"},
+		{"fekf_queue_count", TypeGauge, "reserved _count suffix"},
+		{"fekf_queue_sum", TypeGauge, "reserved _sum suffix"},
+		{"fekf_queue_bucket", TypeGauge, "reserved _bucket suffix"},
+		{"fekf_step_milliseconds", TypeHistogram, "non-base time unit"},
+		{"fekf_payload_kilobytes_total", TypeCounter, "non-base size unit"},
+		{"Fekf_steps_total", TypeCounter, "uppercase"},
+		{"fekf-steps-total", TypeCounter, "dashes"},
+		{"fekf__steps_total", TypeCounter, "double underscore"},
+		{"1fekf_steps_total", TypeCounter, "leading digit"},
+		{"fekf_steps_total_", TypeCounter, "trailing underscore"},
+	}
+	for _, b := range bad {
+		if err := LintName(b.name, b.typ); err == nil {
+			t.Errorf("LintName(%q, %s) = nil, want error (%s)", b.name, b.typ, b.why)
+		}
+	}
+}
+
+func TestLintLabel(t *testing.T) {
+	for _, good := range []string{"route", "code", "status_code", "rank0"} {
+		if err := LintLabel(good); err != nil {
+			t.Errorf("LintLabel(%q) = %v, want nil", good, err)
+		}
+	}
+	for _, bad := range []string{"", "le", "Route", "status-code", "a__b", "_x"} {
+		if err := LintLabel(bad); err == nil {
+			t.Errorf("LintLabel(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestRegisterPanicsOnLintFailure(t *testing.T) {
+	mustPanic(t, "counter without _total", func() {
+		NewRegistry().Counter("fekf_steps", "h")
+	})
+	mustPanic(t, "bad label", func() {
+		NewRegistry().Gauge("fekf_depth", "h", "le")
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", what)
+		}
+	}()
+	fn()
+}

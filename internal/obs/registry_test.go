@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("evt_total", "events", "kind").With("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := reg.Gauge("depth", "queue depth").With()
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %g, want 2.25", got)
+	}
+
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1}).With()
+	for _, v := range []float64{0.05, 0.05, 0.5, 2, 7} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("hist count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 9.6 {
+		t.Fatalf("hist sum = %g, want 9.6", got)
+	}
+}
+
+func TestVecChildIdentity(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.Counter("req_total", "requests", "route")
+	a1 := v.With("/a")
+	a2 := v.With("/a")
+	b := v.With("/b")
+	if a1 != a2 {
+		t.Fatal("same label values resolved to different children")
+	}
+	if a1 == b {
+		t.Fatal("different label values resolved to the same child")
+	}
+	a1.Inc()
+	if b.Value() != 0 {
+		t.Fatal("increment leaked across children")
+	}
+}
+
+func TestWithPanicsOnLabelArity(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.Counter("req_total", "requests", "route", "code")
+	mustPanic(t, "too few label values", func() { v.With("/a") })
+	mustPanic(t, "too many label values", func() { v.With("/a", "200", "x") })
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("evt_total", "events")
+	mustPanic(t, "duplicate name", func() { reg.Counter("evt_total", "again") })
+	mustPanic(t, "duplicate across types", func() { reg.Gauge("evt_total", "again") })
+}
+
+func TestHistogramBucketValidation(t *testing.T) {
+	reg := NewRegistry()
+	mustPanic(t, "empty buckets", func() {
+		reg.Histogram("h_seconds", "h", nil)
+	})
+	mustPanic(t, "non-ascending buckets", func() {
+		reg.Histogram("h2_seconds", "h", []float64{1, 1})
+	})
+}
+
+func TestFuncMetrics(t *testing.T) {
+	reg := NewRegistry()
+	calls := 0
+	reg.AddCollector(func() { calls++ })
+	reg.CounterFunc("scrapes_seen_total", "scrape counter", func() float64 { return float64(calls) })
+	reg.GaugeFunc("answer", "the answer", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("collector ran %d times, want 1", calls)
+	}
+	out := b.String()
+	if !strings.Contains(out, "scrapes_seen_total 1\n") {
+		t.Errorf("func counter missing or stale:\n%s", out)
+	}
+	if !strings.Contains(out, "answer 42\n") {
+		t.Errorf("func gauge missing:\n%s", out)
+	}
+}
+
+// TestConcurrentRegisterUpdateScrape exercises the registry under -race:
+// goroutines registering new families, updating hot metrics and scraping,
+// all at once.
+func TestConcurrentRegisterUpdateScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hot_total", "hot counter", "worker")
+	h := reg.Histogram("hot_seconds", "hot latency", DefSecondsBuckets)
+	g := reg.Gauge("hot_depth", "hot gauge")
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctr := c.With(fmt.Sprintf("w%d", w))
+			hist := h.With()
+			gauge := g.With()
+			for i := 0; i < iters; i++ {
+				ctr.Inc()
+				hist.Observe(float64(i) * 1e-4)
+				gauge.Add(1)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			reg.Gauge(fmt.Sprintf("late_gauge_%d", i), "registered mid-flight").With().Set(float64(i))
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	var total uint64
+	for w := 0; w < workers; w++ {
+		total += c.With(fmt.Sprintf("w%d", w)).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+	if got := h.With().Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := g.With().Value(); got != workers*iters {
+		t.Fatalf("gauge = %g, want %d", got, workers*iters)
+	}
+}

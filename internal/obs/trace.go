@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a training step: rank -1 marks conductor /
+// single-trainer phases, rank >= 0 a replica's role in a collective step.
+// Offsets and durations are nanoseconds so even sub-microsecond phases
+// (a tiny model's gain stage) stay non-zero.
+type Span struct {
+	Name    string `json:"name"`
+	Rank    int    `json:"rank"`
+	StartNs int64  `json:"start_ns"` // offset from the step's start
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// StepTrace is the recorded timeline of one training step.
+type StepTrace struct {
+	Step  int64     `json:"step"`
+	Start time.Time `json:"start"`
+	DurNs int64     `json:"dur_ns"`
+	// LostSpans counts spans dropped because the step exceeded the
+	// per-step span cap (a pathological step; the cap bounds memory).
+	LostSpans int    `json:"lost_spans,omitempty"`
+	Spans     []Span `json:"spans"`
+}
+
+// maxSpansPerStep bounds one step's recorded spans; a fleet step records
+// roughly (2 + 3·forceGroups) spans per rank plus a handful of conductor
+// phases, far below this.
+const maxSpansPerStep = 4096
+
+// Tracer keeps the last N step traces in a fixed ring buffer: recording
+// overwrites the oldest trace once the ring is full (the overflow count is
+// reported, never silently dropped).  Begin/End and Span are safe from any
+// goroutine; a nil *Tracer is a valid no-op tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []StepTrace
+	head    int // next write position
+	n       int // valid entries
+	total   int64
+	dropped int64
+}
+
+// NewTracer returns a tracer holding the last capacity step traces
+// (minimum 1; capacity <= 0 defaults to 64).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{buf: make([]StepTrace, capacity)}
+}
+
+// Begin opens a step recorder stamped now.  On a nil tracer it returns a
+// nil recorder, whose methods are all no-ops — call sites need no guards.
+func (t *Tracer) Begin() *StepRecorder {
+	if t == nil {
+		return nil
+	}
+	return &StepRecorder{t: t, start: time.Now()}
+}
+
+// push records one finished trace, overwriting the oldest when full.
+func (t *Tracer) push(tr StepTrace) {
+	t.mu.Lock()
+	if t.n == len(t.buf) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.buf[t.head] = tr
+	t.head = (t.head + 1) % len(t.buf)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Last returns up to n traces, oldest first, ending at the most recent
+// (n <= 0 returns everything retained).
+func (t *Tracer) Last(n int) []StepTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.n {
+		n = t.n
+	}
+	out := make([]StepTrace, 0, n)
+	start := t.head - n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Capacity returns the ring size.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Recorded returns how many step traces were ever recorded.
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many traces the ring has overwritten.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// StepRecorder collects the spans of one in-flight step.  Span may be
+// called from any goroutine (collective ranks, background drain
+// goroutines); End publishes the trace into the ring.  All methods are
+// no-ops on a nil recorder.
+type StepRecorder struct {
+	t     *Tracer
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	lost  int
+}
+
+// StartTime returns the recorder's step-start stamp (zero on nil).
+func (r *StepRecorder) StartTime() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
+
+// Span records one timed phase: start is the phase's wall-clock start,
+// dur its duration; rank -1 marks non-collective phases.
+func (r *StepRecorder) Span(rank int, name string, start time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.spans) >= maxSpansPerStep {
+		r.lost++
+		r.mu.Unlock()
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Name:    name,
+		Rank:    rank,
+		StartNs: start.Sub(r.start).Nanoseconds(),
+		DurNs:   dur.Nanoseconds(),
+	})
+	r.mu.Unlock()
+}
+
+// End stamps the step number and total duration and publishes the trace.
+// The recorder must not be reused afterwards.
+func (r *StepRecorder) End(step int64) {
+	if r == nil {
+		return
+	}
+	dur := time.Since(r.start)
+	r.mu.Lock()
+	spans := r.spans
+	lost := r.lost
+	r.spans = nil
+	r.mu.Unlock()
+	r.t.push(StepTrace{
+		Step:      step,
+		Start:     r.start,
+		DurNs:     dur.Nanoseconds(),
+		LostSpans: lost,
+		Spans:     spans,
+	})
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(3)
+	if tr.Capacity() != 3 {
+		t.Fatalf("capacity = %d, want 3", tr.Capacity())
+	}
+	for step := int64(1); step <= 5; step++ {
+		rec := tr.Begin()
+		rec.Span(-1, "step", rec.StartTime(), time.Microsecond)
+		rec.End(step)
+	}
+	if got := tr.Recorded(); got != 5 {
+		t.Fatalf("recorded = %d, want 5", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	steps := tr.Last(0)
+	if len(steps) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(steps))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if steps[i].Step != want {
+			t.Errorf("trace %d is step %d, want %d (oldest first)", i, steps[i].Step, want)
+		}
+	}
+	if last := tr.Last(2); len(last) != 2 || last[0].Step != 4 || last[1].Step != 5 {
+		t.Errorf("Last(2) = %+v, want steps 4,5", last)
+	}
+}
+
+func TestTracerSpanContents(t *testing.T) {
+	tr := NewTracer(4)
+	rec := tr.Begin()
+	s0 := rec.StartTime()
+	rec.Span(2, "backward", s0.Add(time.Millisecond), 3*time.Millisecond)
+	rec.End(42)
+
+	steps := tr.Last(0)
+	if len(steps) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(steps))
+	}
+	st := steps[0]
+	if st.Step != 42 {
+		t.Errorf("step = %d, want 42", st.Step)
+	}
+	if len(st.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(st.Spans))
+	}
+	sp := st.Spans[0]
+	if sp.Name != "backward" || sp.Rank != 2 {
+		t.Errorf("span = %+v, want backward/rank 2", sp)
+	}
+	if sp.StartNs != time.Millisecond.Nanoseconds() {
+		t.Errorf("span start offset = %dns, want 1ms", sp.StartNs)
+	}
+	if sp.DurNs != (3 * time.Millisecond).Nanoseconds() {
+		t.Errorf("span dur = %dns, want 3ms", sp.DurNs)
+	}
+}
+
+func TestTracerSpanCap(t *testing.T) {
+	tr := NewTracer(1)
+	rec := tr.Begin()
+	for i := 0; i < maxSpansPerStep+10; i++ {
+		rec.Span(-1, "x", rec.StartTime(), time.Nanosecond)
+	}
+	rec.End(1)
+	st := tr.Last(0)[0]
+	if len(st.Spans) != maxSpansPerStep {
+		t.Fatalf("spans = %d, want cap %d", len(st.Spans), maxSpansPerStep)
+	}
+	if st.LostSpans != 10 {
+		t.Fatalf("lost = %d, want 10", st.LostSpans)
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	rec := tr.Begin()
+	if rec != nil {
+		t.Fatal("nil tracer Begin() should return a nil recorder")
+	}
+	// All of these must be no-ops, not panics.
+	rec.Span(0, "x", time.Now(), time.Second)
+	rec.End(1)
+	if !rec.StartTime().IsZero() {
+		t.Error("nil recorder StartTime should be zero")
+	}
+	if tr.Capacity() != 0 || tr.Recorded() != 0 || tr.Dropped() != 0 || tr.Last(5) != nil {
+		t.Error("nil tracer accessors should return zero values")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(8)
+	rec := tr.Begin()
+	var wg sync.WaitGroup
+	const ranks = 8
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Span(r, "backward", rec.StartTime(), time.Microsecond)
+			}
+		}(r)
+	}
+	wg.Wait()
+	rec.End(7)
+	st := tr.Last(0)[0]
+	if len(st.Spans) != ranks*100 {
+		t.Fatalf("spans = %d, want %d", len(st.Spans), ranks*100)
+	}
+}

@@ -1,0 +1,29 @@
+package online
+
+import "fekf/internal/obs"
+
+// Metrics is the trainer's push-side instrument set: the histograms that
+// must be observed where the event happens (latency distributions cannot
+// be reconstructed from counters at scrape time).  Everything else the
+// trainer exposes — queue depth, gate accept rate, replay occupancy — is
+// already maintained in Stats and exported as scrape-time func metrics by
+// the serving layer, so it costs the hot path nothing extra here.
+type Metrics struct {
+	// StepSeconds observes the wall time of each optimizer step.
+	StepSeconds *obs.Histogram
+	// CheckpointSeconds observes the wall time of each checkpoint write.
+	CheckpointSeconds *obs.Histogram
+}
+
+// NewMetrics registers the trainer's metric families on reg.  Register at
+// most once per registry: duplicate registration panics by design.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		StepSeconds: reg.Histogram("fekf_train_step_seconds",
+			"Wall time of one online FEKF optimizer step.",
+			obs.DefSecondsBuckets).With(),
+		CheckpointSeconds: reg.Histogram("fekf_train_checkpoint_seconds",
+			"Wall time of one combined model+optimizer checkpoint write.",
+			obs.DefSecondsBuckets).With(),
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
 	"fekf/internal/md"
+	"fekf/internal/obs"
 	"fekf/internal/optimize"
 	"fekf/internal/train"
 )
@@ -49,6 +50,14 @@ type TrainerConfig struct {
 	// OnStep, if non-nil, runs on the trainer goroutine after every
 	// optimizer step.
 	OnStep func(step int64, info optimize.StepInfo)
+	// Metrics, when non-nil, receives step and checkpoint latency
+	// observations (see NewMetrics).  Nil disables instrumentation at the
+	// cost of one pointer check per step.
+	Metrics *Metrics
+	// Trace, when non-nil, records a per-step phase timeline (ingest
+	// admit, gate, sample, step, snapshot publish, checkpoint) into the
+	// ring served at /v1/trace.
+	Trace *obs.Tracer
 }
 
 func (c TrainerConfig) withDefaults() TrainerConfig {
@@ -103,6 +112,11 @@ type Trainer struct {
 	queue  *Queue
 	replay *ReplayBuffer
 	gate   *Gate
+
+	// rec accumulates the phase spans of the upcoming step (ingest/gate
+	// activity happens between steps and is attributed to the step it
+	// feeds).  Owned by the loop goroutine; nil when tracing is off.
+	rec *obs.StepRecorder
 
 	snap       atomic.Pointer[ModelSnapshot]
 	steps      atomic.Int64
@@ -336,8 +350,15 @@ func (t *Trainer) loop() {
 // admit runs one frame through the gate into the replay buffer, updating
 // the mirrored stats counters.
 func (t *Trainer) admit(s dataset.Snapshot) {
+	if t.cfg.Trace != nil && t.rec == nil {
+		t.rec = t.cfg.Trace.Begin()
+	}
+	a0 := time.Now()
+	defer func() { t.rec.Span(-1, "ingest_admit", a0, time.Since(a0)) }()
 	scratch := &dataset.Dataset{System: t.system, Species: t.species, Snapshots: []dataset.Snapshot{s}}
+	g0 := time.Now()
 	ok, _, err := t.gate.Admit(t.model, t.opt.PDiagonal(), scratch, 0)
+	t.rec.Span(-1, "gate", g0, time.Since(g0))
 	if err != nil {
 		t.setErr(fmt.Errorf("gate: %w", err))
 		return
@@ -358,7 +379,13 @@ func (t *Trainer) admit(s dataset.Snapshot) {
 // step draws one replay minibatch and advances the optimizer, publishing
 // snapshots and periodic checkpoints on schedule.
 func (t *Trainer) step() {
+	if t.cfg.Trace != nil && t.rec == nil {
+		t.rec = t.cfg.Trace.Begin()
+	}
+	rec := t.rec
+	s0 := time.Now()
 	batch := t.replay.Sample(t.cfg.BatchSize)
+	rec.Span(-1, "sample", s0, time.Since(s0))
 	if len(batch) == 0 {
 		return
 	}
@@ -367,9 +394,17 @@ func (t *Trainer) step() {
 	for i := range idx {
 		idx[i] = i
 	}
+	k0 := time.Now()
 	info, err := t.stepper.Step(ds, idx)
+	stepDur := time.Since(k0)
+	rec.Span(-1, "step", k0, stepDur)
+	if m := t.cfg.Metrics; m != nil {
+		m.StepSeconds.Observe(stepDur.Seconds())
+	}
 	if err != nil {
 		t.setErr(fmt.Errorf("step: %w", err))
+		rec.End(t.steps.Load())
+		t.rec = nil
 		return
 	}
 	n := t.steps.Add(1)
@@ -378,13 +413,19 @@ func (t *Trainer) step() {
 		t.cfg.OnStep(n, info)
 	}
 	if n%int64(t.cfg.SnapshotEvery) == 0 {
+		p0 := time.Now()
 		t.publish()
+		rec.Span(-1, "snapshot_publish", p0, time.Since(p0))
 	}
 	if t.cfg.CheckpointEvery > 0 && t.cfg.CheckpointPath != "" && n%int64(t.cfg.CheckpointEvery) == 0 {
+		c0 := time.Now()
 		if err := t.writeCheckpointCounted(t.cfg.CheckpointPath); err != nil {
 			t.setErr(fmt.Errorf("checkpoint: %w", err))
 		}
+		rec.Span(-1, "checkpoint", c0, time.Since(c0))
 	}
+	rec.End(n)
+	t.rec = nil
 }
 
 // publish swaps in a fresh copy-on-write snapshot.  Called from the loop
@@ -400,7 +441,11 @@ func (t *Trainer) publish() {
 }
 
 func (t *Trainer) writeCheckpointCounted(path string) error {
+	c0 := time.Now()
 	err := t.WriteCheckpoint(path)
+	if m := t.cfg.Metrics; m != nil {
+		m.CheckpointSeconds.Observe(time.Since(c0).Seconds())
+	}
 	if err == nil {
 		t.ckWrites.Add(1)
 	}

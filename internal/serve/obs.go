@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"fekf/internal/fleet"
+	"fekf/internal/obs"
+	"fekf/internal/online"
+)
+
+// httpMetrics is the server's push-side instrument set: per-route request
+// counts/latency and the predict micro-batch size distribution.
+type httpMetrics struct {
+	requests    *obs.CounterVec   // fekf_http_requests_total{route,code}
+	latency     *obs.HistogramVec // fekf_http_request_seconds{route}
+	batchFrames *obs.Histogram    // fekf_predict_batch_frames
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: reg.Counter("fekf_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		latency: reg.Histogram("fekf_http_request_seconds",
+			"HTTP request latency, by route.", obs.DefSecondsBuckets, "route"),
+		batchFrames: reg.Histogram("fekf_predict_batch_frames",
+			"Frames per executed prediction micro-batch.", obs.SizeBuckets).With(),
+	}
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-route latency histogram and the
+// request counter.  The histogram child is resolved once here, so the per
+// request cost is the status capture plus two metric updates.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.om == nil {
+		return h
+	}
+	hist := s.om.latency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h(sw, r)
+		hist.Observe(time.Since(t0).Seconds())
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.om.requests.With(route, strconv.Itoa(code)).Inc()
+	}
+}
+
+// backendCollector bridges the backend's existing stats surfaces into the
+// registry as scrape-time func metrics.  Its collector hook takes ONE
+// consistent Stats() (and FleetStats()) snapshot per scrape, cached for
+// every func metric of that scrape — the /metrics view is as internally
+// consistent as /v1/stats, with zero extra bookkeeping on training paths.
+type backendCollector struct {
+	be Backend
+	fs FleetStatser
+
+	mu  sync.Mutex
+	st  online.Stats
+	fst fleet.Stats
+}
+
+func (c *backendCollector) collect() {
+	st := c.be.Stats()
+	var fst fleet.Stats
+	if c.fs != nil {
+		fst = c.fs.FleetStats()
+	}
+	c.mu.Lock()
+	c.st = st
+	c.fst = fst
+	c.mu.Unlock()
+}
+
+// stat reads one trainer-stats field from the cached snapshot.
+func (c *backendCollector) stat(f func(online.Stats) float64) func() float64 {
+	return func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return f(c.st)
+	}
+}
+
+// fstat reads one fleet-stats field from the cached snapshot.
+func (c *backendCollector) fstat(f func(fleet.Stats) float64) func() float64 {
+	return func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return f(c.fst)
+	}
+}
+
+// registerBackendMetrics exposes the trainer-stats (and, for a fleet
+// backend, the fleet/autoscale/transport) view as func metrics on reg.
+func registerBackendMetrics(reg *obs.Registry, be Backend) {
+	c := &backendCollector{be: be}
+	if fs, ok := be.(FleetStatser); ok {
+		c.fs = fs
+	}
+	reg.AddCollector(c.collect)
+
+	reg.CounterFunc("fekf_train_steps_total",
+		"Optimizer steps completed.",
+		c.stat(func(s online.Stats) float64 { return float64(s.Steps) }))
+	reg.CounterFunc("fekf_kalman_updates_total",
+		"Kalman measurement updates applied (energy + force groups per step).",
+		c.stat(func(s online.Stats) float64 { return float64(s.KalmanUpdates) }))
+	reg.GaugeFunc("fekf_lambda",
+		"Current Kalman forgetting factor.",
+		c.stat(func(s online.Stats) float64 { return s.Lambda }))
+	reg.GaugeFunc("fekf_ingest_queue_depth",
+		"Frames buffered in the ingest queue(s).",
+		c.stat(func(s online.Stats) float64 { return float64(s.QueueDepth) }))
+	reg.GaugeFunc("fekf_ingest_queue_occupancy",
+		"Filled fraction of the ingest queue capacity.",
+		c.stat(func(s online.Stats) float64 { return s.QueueOccupancy }))
+	reg.CounterFunc("fekf_frames_queued_total",
+		"Frames accepted into the ingest queue(s).",
+		c.stat(func(s online.Stats) float64 { return float64(s.FramesQueued) }))
+	reg.CounterFunc("fekf_frames_dropped_total",
+		"Frames dropped by full-queue policy.",
+		c.stat(func(s online.Stats) float64 { return float64(s.FramesDropped) }))
+	reg.CounterFunc("fekf_frames_accepted_total",
+		"Frames admitted by the uncertainty gate into replay.",
+		c.stat(func(s online.Stats) float64 { return float64(s.FramesAccepted) }))
+	reg.CounterFunc("fekf_frames_gated_out_total",
+		"Frames rejected by the uncertainty gate.",
+		c.stat(func(s online.Stats) float64 { return float64(s.FramesGatedOut) }))
+	reg.GaugeFunc("fekf_gate_accept_ratio",
+		"Fraction of gate-scored frames admitted.",
+		c.stat(func(s online.Stats) float64 { return s.GateAcceptRate }))
+	reg.GaugeFunc("fekf_gate_ema",
+		"Gate uncertainty score EMA.",
+		c.stat(func(s online.Stats) float64 { return s.GateEMA }))
+	reg.GaugeFunc("fekf_replay_frames",
+		"Frames held in the replay buffer(s).",
+		c.stat(func(s online.Stats) float64 { return float64(s.ReplaySize) }))
+	reg.GaugeFunc("fekf_replay_occupancy",
+		"Filled fraction of the replay capacity.",
+		c.stat(func(s online.Stats) float64 { return s.ReplayOccupancy }))
+	reg.GaugeFunc("fekf_snapshot_age_seconds",
+		"Age of the freshest published model snapshot.",
+		c.stat(func(s online.Stats) float64 { return float64(s.SnapshotAgeMs) / 1000 }))
+	reg.CounterFunc("fekf_checkpoints_total",
+		"Checkpoints written.",
+		c.stat(func(s online.Stats) float64 { return float64(s.Checkpoints) }))
+
+	if c.fs == nil {
+		return
+	}
+	reg.GaugeFunc("fekf_fleet_replicas",
+		"Allocated replica slots.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.Replicas) }))
+	reg.GaugeFunc("fekf_fleet_live_replicas",
+		"Replicas currently live.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.Live) }))
+	reg.GaugeFunc("fekf_fleet_weight_drift",
+		"Max absolute weight difference between live replicas (0 under the fleet invariant).",
+		c.fstat(func(s fleet.Stats) float64 { return s.WeightDrift }))
+	reg.GaugeFunc("fekf_fleet_p_drift",
+		"Max absolute covariance difference between live replicas (0 under the fleet invariant).",
+		c.fstat(func(s fleet.Stats) float64 { return s.PDrift }))
+	reg.CounterFunc("fekf_ring_wire_bytes_total",
+		"Modeled RoCE payload bytes over live and retired rings.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.RingWireBytes) }))
+	reg.CounterFunc("fekf_ring_ops_total",
+		"Collective operations over live and retired rings.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.RingOps) }))
+	reg.CounterFunc("fekf_transport_sent_bytes_total",
+		"Measured transport bytes sent (payload + framing), all rings.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.Transport.BytesSent) }))
+	reg.CounterFunc("fekf_transport_recv_bytes_total",
+		"Measured transport bytes received, all rings.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.Transport.BytesRecv) }))
+	reg.CounterFunc("fekf_transport_messages_total",
+		"Transport messages delivered, all rings.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.Transport.Msgs) }))
+	reg.CounterFunc("fekf_transport_retries_total",
+		"Transport send retries.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.Transport.Retries) }))
+	reg.CounterFunc("fekf_transport_reconnects_total",
+		"Transport reconnect attempts.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.Transport.Reconnects) }))
+	reg.CounterFunc("fekf_transport_heartbeats_total",
+		"Transport heartbeats exchanged.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.Transport.Heartbeats) }))
+	reg.CounterFunc("fekf_transport_peer_failures_total",
+		"Peer failures detected by the transport.",
+		c.fstat(func(s fleet.Stats) float64 { return float64(s.Transport.PeerFailures) }))
+
+	reg.GaugeFunc("fekf_autoscale_pressure",
+		"Smoothed queue-pressure signal the autoscaler acts on (0 when disabled).",
+		c.fstat(func(s fleet.Stats) float64 {
+			if s.Autoscale == nil {
+				return 0
+			}
+			return s.Autoscale.Pressure
+		}))
+	reg.GaugeFunc("fekf_autoscale_target_replicas",
+		"Autoscaler's current target live count (0 when disabled).",
+		c.fstat(func(s fleet.Stats) float64 {
+			if s.Autoscale == nil {
+				return 0
+			}
+			return float64(s.Autoscale.Target)
+		}))
+}

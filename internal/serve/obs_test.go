@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fekf/internal/obs"
+	"fekf/internal/online"
+)
+
+// TestServerObservability wires a registry and tracer through trainer and
+// server, drives traffic, and checks /metrics serves valid exposition
+// covering the HTTP and trainer families while /v1/trace returns step
+// traces with spans.
+func TestServerObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(32)
+	ds, tr, srv := serveSetup(t,
+		online.TrainerConfig{BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, TrainIdle: true, Seed: 5,
+			Gate:    online.GateConfig{Enabled: false},
+			Metrics: online.NewMetrics(reg), Trace: tracer},
+		Config{Metrics: reg, Trace: tracer})
+	base := "http://" + srv.Addr()
+
+	req := FramesRequest{}
+	for i := 0; i < 6; i++ {
+		req.Frames = append(req.Frames, framePayload(ds, i))
+	}
+	var fresp FramesResponse
+	if code, err := postJSON(t, base+"/v1/frames", req, &fresp); err != nil || code != http.StatusOK {
+		t.Fatalf("frames: %d %v", code, err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for tr.Stats().Steps < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("trainer stuck at %d steps (last error %q)", tr.Stats().Steps, tr.Stats().LastError)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE fekf_train_steps_total counter",
+		"# TYPE fekf_train_step_seconds histogram",
+		"# TYPE fekf_ingest_queue_depth gauge",
+		"fekf_train_step_seconds_bucket{le=\"+Inf\"}",
+		"fekf_http_requests_total{route=\"/v1/frames\",code=\"200\"} 1",
+		"fekf_http_request_seconds_count{route=\"/v1/frames\"} 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The scrape-time trainer counter must reflect the steps taken.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "fekf_train_steps_total ") {
+			if line == "fekf_train_steps_total 0" {
+				t.Error("fekf_train_steps_total stuck at 0 after training")
+			}
+		}
+	}
+
+	resp, err = http.Get(base + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tresp obs.TraceResponse
+	err = json.NewDecoder(resp.Body).Decode(&tresp)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %d %v", resp.StatusCode, err)
+	}
+	if tresp.Capacity != 32 || len(tresp.Steps) == 0 {
+		t.Fatalf("trace capacity %d, %d steps — want 32 and >0", tresp.Capacity, len(tresp.Steps))
+	}
+	var sawStep bool
+	for _, st := range tresp.Steps {
+		for _, sp := range st.Spans {
+			if sp.Name == "step" && sp.DurNs > 0 {
+				sawStep = true
+			}
+		}
+	}
+	if !sawStep {
+		t.Error("no non-zero step span in any trace")
+	}
+}
+
+// TestServerNoMetricsConfigured pins the opt-out path: without a registry
+// or tracer the endpoints 404 and handlers run uninstrumented.
+func TestServerNoMetricsConfigured(t *testing.T) {
+	_, _, srv := serveSetup(t,
+		online.TrainerConfig{BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, Seed: 5,
+			Gate: online.GateConfig{Enabled: false}},
+		Config{})
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/metrics", "/v1/trace"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d without obs config, want 404", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+}

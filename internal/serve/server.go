@@ -13,6 +13,7 @@ import (
 	"fekf/internal/dataset"
 	"fekf/internal/fleet"
 	"fekf/internal/md"
+	"fekf/internal/obs"
 	"fekf/internal/online"
 )
 
@@ -56,6 +57,18 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 16 MiB).
 	MaxBodyBytes int64
+	// Metrics, when non-nil, is served at GET /metrics in Prometheus text
+	// format and populated with the serving tier's request metrics plus
+	// scrape-time func metrics over the backend's stats (one consistent
+	// snapshot per scrape).
+	Metrics *obs.Registry
+	// Trace, when non-nil, is served at GET /v1/trace as JSON.
+	Trace *obs.Tracer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/, outside the
+	// request-timeout wrapper (profiles run for tens of seconds; they are
+	// still subject to the server's write timeout — use the standalone
+	// metrics listener for long captures).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +109,7 @@ type Server struct {
 	http  *http.Server
 	ln    net.Listener
 	start time.Time
+	om    *httpMetrics // nil when cfg.Metrics is nil
 
 	predictN atomic.Int64
 	frameN   atomic.Int64
@@ -112,13 +126,32 @@ func New(be Backend, cfg Config) *Server {
 		bat:   NewBatcher(be.Snapshot, cfg.MaxBatch, cfg.BatchWindow, cfg.BatchWorkers),
 		start: time.Now(),
 	}
+	if cfg.Metrics != nil {
+		s.om = newHTTPMetrics(cfg.Metrics)
+		registerBackendMetrics(cfg.Metrics, be)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/frames", s.handleFrames)
-	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("POST /v1/frames", s.instrument("/v1/frames", s.handleFrames))
+	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	if cfg.Metrics != nil {
+		mux.Handle("GET /metrics", cfg.Metrics.Handler())
+	}
+	if cfg.Trace != nil {
+		mux.Handle("GET /v1/trace", cfg.Trace.Handler())
+	}
+	handler := http.Handler(http.TimeoutHandler(mux, cfg.RequestTimeout, `{"error":"request timed out"}`))
+	if cfg.EnablePprof {
+		// pprof streams for the caller-chosen capture window, so it lives
+		// outside the per-request timeout wrapper.
+		outer := http.NewServeMux()
+		obs.MountPprof(outer)
+		outer.Handle("/", handler)
+		handler = outer
+	}
 	s.http = &http.Server{
-		Handler:           http.TimeoutHandler(mux, cfg.RequestTimeout, `{"error":"request timed out"}`),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       cfg.RequestTimeout,
 		WriteTimeout:      cfg.RequestTimeout + 5*time.Second,
@@ -174,8 +207,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// One Stats() snapshot per request: the backend assembles it from a
+	// dozen atomics, so calling it twice in one handler would both pay
+	// double and mix two moments in time into one response.
+	st := s.be.Stats()
 	resp := StatsResponse{
-		Stats:           s.be.Stats(),
+		Stats:           st,
 		PredictRequests: s.predictN.Load(),
 		PredictBatches:  s.bat.Batches(),
 		FrameRequests:   s.frameN.Load(),
@@ -217,7 +254,8 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 			resp.Dropped++
 		}
 	}
-	resp.QueueDepth = s.be.Stats().QueueDepth
+	st := s.be.Stats()
+	resp.QueueDepth = st.QueueDepth
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -247,6 +285,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		writeErr(w, status, err.Error())
 		return
+	}
+	if s.om != nil {
+		s.om.batchFrames.Observe(float64(res.Batch))
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{
 		Energy:       res.Energy,
