@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-pipeline race-online race-fleet race-transport race-autoscale race-obs fuzz bench bench-fleet bench-transport bench-autoscale bench-obs fmt serve-smoke
+.PHONY: ci vet test race race-pipeline race-online race-fleet race-pshard race-transport race-autoscale race-obs fuzz bench bench-fleet bench-pshard bench-json bench-transport bench-autoscale bench-obs fmt serve-smoke
 
-ci: vet test race race-pipeline race-online race-fleet race-transport race-autoscale race-obs fuzz bench-fleet bench-transport bench-autoscale bench-obs serve-smoke
+ci: vet test race race-pipeline race-online race-fleet race-pshard race-transport race-autoscale race-obs fuzz bench-fleet bench-pshard bench-transport bench-autoscale bench-obs serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,14 @@ race-online:
 race-fleet:
 	$(GO) test -race -timeout 20m -count=1 ./internal/fleet
 
+# Soak the sharded-covariance subsystem under the race detector: the slab
+# kernels and exchange collectives of internal/pshard, plus the fleet and
+# serve integration (lockstep bitwise twins, kill/revive slab migration,
+# checkpoint resume, the /v1/stats pshard row and per-rank gauges).
+race-pshard:
+	$(GO) test -race -timeout 20m -count=1 ./internal/pshard
+	$(GO) test -race -timeout 20m -count=1 -run 'PShard' ./internal/fleet ./internal/serve
+
 # Soak the queue-pressure autoscaler under the race detector: bursty
 # producers against tiny DropNewest queues force full scale-up/scale-down
 # cycles while predict and stats traffic runs concurrently, with the
@@ -75,11 +83,15 @@ race-transport:
 # down gracefully and prove the checkpoint resumes λ and P bitwise.  The
 # second run repeats the loop on a 3-replica fleet, adding the zero-drift
 # invariant, a replica kill (predict availability must survive) and a
-# checkpoint-catch-up rejoin.
+# checkpoint-catch-up rejoin.  The -pshard runs repeat the fleet loop with
+# the covariance sharded across the ranks (chan and TCP transports),
+# checking the ~1/R resident-P split and the exchange trace span.
 serve-smoke:
 	$(GO) run ./cmd/serve -smoke
 	$(GO) run ./cmd/serve -smoke -replicas 3
 	$(GO) run ./cmd/serve -smoke -replicas 3 -transport tcp
+	$(GO) run ./cmd/serve -smoke -replicas 3 -pshard
+	$(GO) run ./cmd/serve -smoke -replicas 3 -pshard -transport tcp
 	$(GO) run ./cmd/serve -smoke -autoscale
 	$(GO) run ./cmd/serve -smoke-transport
 
@@ -90,6 +102,7 @@ fuzz:
 	$(GO) test ./internal/tensor -run '^$$' -fuzz '^FuzzPUpdateFusedParallelMatchesSerial$$' -fuzztime 5s
 	$(GO) test ./internal/tensor -run '^$$' -fuzz '^FuzzSymMatVecParallelMatchesSerial$$' -fuzztime 5s
 	$(GO) test ./internal/fleet -run '^$$' -fuzz '^FuzzShardRouting$$' -fuzztime 5s
+	$(GO) test ./internal/pshard -run '^$$' -fuzz '^FuzzBlockPartition$$' -fuzztime 5s
 
 # Host-parallelism speedup curve (Kalman block update, GEMM family, the
 # pipelined FEKF iteration).
@@ -100,6 +113,18 @@ bench:
 # per iteration in ci as a smoke, without -benchtime for real numbers.
 bench-fleet:
 	$(GO) test ./internal/fleet -run '^$$' -bench FleetScaling -benchtime 1x
+
+# Replicated vs sharded covariance: one lockstep step at 1/2/4 ranks in
+# both modes, with the per-rank resident P footprint reported alongside
+# the wall time.  Run once per iteration in ci as a smoke.
+bench-pshard:
+	$(GO) test ./internal/fleet -run '^$$' -bench PShardStep -benchtime 1x
+
+# Dump the replicated-vs-sharded comparison (step wall time, per-rank
+# resident P bytes, exchange traffic) as a JSON table for offline
+# tracking.  Not part of ci — run it by hand when collecting numbers.
+bench-json:
+	FEKF_BENCH_JSON=$(CURDIR)/BENCH_pshard.json $(GO) test ./internal/fleet -run PShardBenchJSON -count=1 -v
 
 # In-process channel transport vs. TCP loopback on the same 3-rank
 # allreduce: the delta is the real socket cost the modeled RoCE numbers

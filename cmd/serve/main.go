@@ -9,6 +9,7 @@
 //
 //	serve -addr 127.0.0.1:8234 -system Cu -mdclient
 //	serve -checkpoint ckpt.gob -resume            # continue a previous run
+//	serve -replicas 4 -pshard                     # shard P across the fleet
 //	serve -smoke                                  # self-test and exit
 package main
 
@@ -70,6 +71,7 @@ func main() {
 		mdFrames    = flag.Int("md-frames", 0, "frames the MD client sends (0 = until shutdown)")
 		mdPeriod    = flag.Duration("md-period", 100*time.Millisecond, "delay between MD client frames")
 		replicas    = flag.Int("replicas", 1, "fleet replica count (>1 runs the replicated online fleet)")
+		pshardOn    = flag.Bool("pshard", false, "shard the Kalman covariance (P) across the fleet replicas instead of replicating it — ~1/R resident P per replica at the cost of one extra allgather per measurement (implies the fleet backend)")
 		autoscale   = flag.Bool("autoscale", false, "let the fleet conductor scale the live replica count from queue pressure (implies the fleet backend)")
 		replMin     = flag.Int("replicas-min", 1, "autoscaler floor on the live replica count")
 		replMax     = flag.Int("replicas-max", 0, "autoscaler ceiling on the live replica count (0 = max(replicas, 3))")
@@ -120,8 +122,14 @@ func main() {
 	if *smoke {
 		if *autoscale {
 			err = runAutoscaleSmoke(*system, *seed, *transport)
-		} else if *replicas > 1 {
-			err = runFleetSmoke(*system, *seed, *replicas, shard, *transport)
+		} else if *replicas > 1 || *pshardOn {
+			n := *replicas
+			if n < 2 {
+				// The sharded smoke kills and revives a replica, so it needs
+				// company even when -replicas was left at 1.
+				n = 3
+			}
+			err = runFleetSmoke(*system, *seed, n, shard, *transport, *pshardOn)
 		} else {
 			err = runSmoke(*system, *seed)
 		}
@@ -141,9 +149,10 @@ func main() {
 	tracer := obs.NewTracer(*traceBuf)
 
 	var be serve.Backend
-	if *replicas > 1 || *autoscale {
+	if *replicas > 1 || *autoscale || *pshardOn {
 		fcfg := fleet.Config{
 			Replicas:        *replicas,
+			PShard:          *pshardOn,
 			ShardPolicy:     shard,
 			BatchSize:       *bs,
 			QueueSize:       *queueSize,
@@ -202,8 +211,12 @@ func main() {
 		}
 		log.Printf("metrics on http://%s (GET /metrics, GET /v1/trace, /debug/pprof/)", maddr)
 	}
-	log.Printf("serving %s on http://%s with %d replica(s)  (POST /v1/frames, POST /v1/predict, GET /healthz, GET /v1/stats, GET /metrics, GET /v1/trace)",
-		*system, srv.Addr(), *replicas)
+	pDesc := ""
+	if *pshardOn {
+		pDesc = ", sharded P"
+	}
+	log.Printf("serving %s on http://%s with %d replica(s)%s  (POST /v1/frames, POST /v1/predict, GET /healthz, GET /v1/stats, GET /metrics, GET /v1/trace)",
+		*system, srv.Addr(), *replicas, pDesc)
 
 	stopClient := make(chan struct{})
 	clientDone := make(chan struct{})
@@ -666,8 +679,11 @@ func runSmoke(system string, seed int64) error {
 // with exactly zero weight/P drift, kill a replica and prove predict
 // availability and survivor consistency, rejoin it via checkpoint
 // catch-up, shut down gracefully and resume the whole fleet from its
-// checkpoint.
-func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPolicy, transport string) error {
+// checkpoint.  With pshard the fleet shards the covariance instead of
+// replicating it, and the smoke additionally requires the /v1/stats pshard
+// row to tile the full P across the ranks and the per-rank resident-bytes
+// gauges to be exported.
+func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPolicy, transport string, pshard bool) error {
 	dir, err := os.MkdirTemp("", "fekf-fleet-smoke-")
 	if err != nil {
 		return err
@@ -678,7 +694,7 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(64)
 	fcfg := fleet.Config{
-		Replicas: replicas, ShardPolicy: shard,
+		Replicas: replicas, ShardPolicy: shard, PShard: pshard,
 		BatchSize: 2, MinFrames: 2, QueueSize: 64, WindowSize: 64, ReservoirSize: 64,
 		SnapshotEvery: 1, CheckpointPath: ckpt, CheckpointEvery: 4,
 		Gate: gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
@@ -699,7 +715,11 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	if transport == "" {
 		transport = "chan"
 	}
-	log.Printf("fleet smoke: %d replicas (%s sharding, %s ring transport) on %s", replicas, shard, transport, base)
+	pMode := "replicated P"
+	if pshard {
+		pMode = "sharded P"
+	}
+	log.Printf("fleet smoke: %d replicas (%s sharding, %s ring transport, %s) on %s", replicas, shard, transport, pMode, base)
 
 	hr, err := client.Get(base + "/healthz")
 	if err != nil {
@@ -753,13 +773,39 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	}
 	log.Printf("fleet smoke: %d lockstep steps, λ=%.6f, drift 0/0, %d ring ops (%d modeled B; %d measured B over %s)",
 		st.Steps, st.Lambda, st.Fleet.RingOps, st.Fleet.RingWireBytes, st.Fleet.Transport.BytesSent, st.Fleet.Transport.Kind)
+	if pshard {
+		ps := st.Fleet.PShard
+		if ps == nil {
+			return fmt.Errorf("/v1/stats has no pshard row in sharded mode")
+		}
+		if ps.Ranks != replicas {
+			return fmt.Errorf("pshard row reports %d ranks, want %d", ps.Ranks, replicas)
+		}
+		var sum int64
+		for _, b := range ps.ResidentBytesPerRank {
+			if b <= 0 || b >= ps.TotalBytes {
+				return fmt.Errorf("per-rank resident P %d B is not a strict share of %d B", b, ps.TotalBytes)
+			}
+			sum += b
+		}
+		if sum != ps.TotalBytes {
+			return fmt.Errorf("rank shares sum to %d B, full P is %d B — slabs lost or duplicated", sum, ps.TotalBytes)
+		}
+		log.Printf("fleet smoke: P sharded over %d ranks (%d B total, imbalance %.3f, %d exchange B/step)",
+			ps.Ranks, ps.TotalBytes, ps.ImbalanceRatio, ps.ExchangeBytesPerStep)
+	}
 
 	// the exposition covers trainer, fleet, autoscaler-slot and transport
 	// families while the fleet trains under load
-	samples, err := requireMetrics(client, base,
+	metricWants := []string{
 		"fekf_fleet_step_seconds_count", "fekf_fleet_step_seconds_bucket",
 		"fekf_ingest_queue_depth", "fekf_fleet_live_replicas",
-		"fekf_transport_sent_bytes_total", "fekf_http_requests_total")
+		"fekf_transport_sent_bytes_total", "fekf_http_requests_total",
+		"fekf_p_resident_bytes"}
+	if pshard {
+		metricWants = append(metricWants, "fekf_pshard_shards", "fekf_pshard_exchange_bytes")
+	}
+	samples, err := requireMetrics(client, base, metricWants...)
 	if err != nil {
 		return err
 	}
@@ -769,6 +815,10 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 		return fmt.Errorf("trace: %w", err)
 	}
 	need := map[string]bool{"backward": false, "allreduce": false, "gain": false, "drain": false}
+	if pshard {
+		// The P·g exchange collective only exists in sharded steps.
+		need["exchange"] = false
+	}
 	for _, stepTr := range tresp.Steps {
 		for _, sp := range stepTr.Spans {
 			if done, tracked := need[sp.Name]; tracked && !done && sp.DurNs > 0 {

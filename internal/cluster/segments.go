@@ -1,0 +1,108 @@
+package cluster
+
+import "fmt"
+
+// Segment is one contiguous, exclusively-owned range [Lo,Hi) of a shared
+// flat vector: rank Owner computes the values, every other rank receives
+// them verbatim.  The covariance-sharded FEKF uses segments to describe
+// which rows of the P·g intermediate each rank produced (see
+// internal/pshard).
+type Segment struct {
+	Lo, Hi int
+	Owner  int
+}
+
+// Len returns the element count of the segment.
+func (s Segment) Len() int { return s.Hi - s.Lo }
+
+// AllgatherSegments circulates owner-computed segments of data around the
+// ring so that every rank ends with the identical complete vector.  Each
+// rank enters with its own segments filled (those with Owner == rank) and
+// leaves with every segment filled.  Unlike Allreduce this is a pure-copy
+// collective — no arithmetic touches the payload, so the gathered values
+// are bitwise identical to the owner's on every transport (the TCP framing
+// round-trips float64 bits exactly).
+//
+// Every rank must pass the same segs table (same order, same owners) and
+// an equal-length data slice; segments must be disjoint and owners in
+// [0, size).  Ranks owning no segment participate as pure forwarders.  A
+// non-nil error wraps ErrRingBroken: data is partially gathered and must
+// not be used.
+//
+// Schedule: size-1 ring steps.  At step s each rank packs the segments
+// owned by rank (rank-s mod size) — its own at s=0, afterwards the ones it
+// just received — sends them to its successor and receives the segments
+// owned by (rank-s-1 mod size) from its predecessor.  All owner chunks are
+// in flight concurrently at every step, so the modeled cost per step is
+// the largest owner chunk (charged once, by rank 0, like Allreduce).
+func (r *Ring) AllgatherSegments(rank int, data []float64, segs []Segment) error {
+	if rank == 0 {
+		r.ops.Add(1)
+	}
+	if r.size == 1 {
+		return nil
+	}
+	// Per-owner element totals; the largest sets the scratch and the
+	// modeled per-step cost.
+	ownerLen := make([]int, r.size)
+	maxOwner := 0
+	for _, sg := range segs {
+		if sg.Owner < 0 || sg.Owner >= r.size {
+			panic(fmt.Sprintf("cluster: segment owner %d outside ring of %d", sg.Owner, r.size))
+		}
+		if sg.Hi < sg.Lo || sg.Lo < 0 || sg.Hi > len(data) {
+			panic(fmt.Sprintf("cluster: segment [%d,%d) outside data of %d", sg.Lo, sg.Hi, len(data)))
+		}
+		ownerLen[sg.Owner] += sg.Len()
+		if ownerLen[sg.Owner] > maxOwner {
+			maxOwner = ownerLen[sg.Owner]
+		}
+	}
+	sc := &r.scratch[rank]
+	if cap(sc.buf) < maxOwner {
+		sc.buf = make([]float64, maxOwner)
+	}
+	maxOwnerBytes := int64(maxOwner) * 8
+
+	for s := 0; s < r.size-1; s++ {
+		sendOwner := mod(rank-s, r.size)
+		recvOwner := mod(rank-s-1, r.size)
+		// Pack the send owner's segments, in table order, into the reusable
+		// buffer (the barrier below guarantees the previous step's buffer
+		// has been consumed).
+		if n := ownerLen[sendOwner]; n > 0 {
+			buf := sc.buf[:0]
+			for _, sg := range segs {
+				if sg.Owner == sendOwner {
+					buf = append(buf, data[sg.Lo:sg.Hi]...)
+				}
+			}
+			if err := r.send(rank, buf); err != nil {
+				return err
+			}
+		}
+		if n := ownerLen[recvOwner]; n > 0 {
+			in, err := r.tr.Recv(rank)
+			if err != nil {
+				return err
+			}
+			if len(in) != n {
+				panic(fmt.Sprintf("cluster: segment chunk size mismatch %d vs %d", len(in), n))
+			}
+			off := 0
+			for _, sg := range segs {
+				if sg.Owner == recvOwner {
+					copy(data[sg.Lo:sg.Hi], in[off:off+sg.Len()])
+					off += sg.Len()
+				}
+			}
+		}
+		if rank == 0 && maxOwner > 0 {
+			r.accountStep(maxOwnerBytes)
+		}
+		if err := r.tr.Barrier(rank); err != nil {
+			return err
+		}
+	}
+	return nil
+}

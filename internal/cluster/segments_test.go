@@ -1,0 +1,98 @@
+package cluster_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fekf/internal/cluster"
+	"fekf/internal/cluster/tcptransport"
+)
+
+// segTable builds a deterministic segment layout over n elements for the
+// given rank count: a few segments per owner, interleaved so owners are
+// not contiguous, including a rank that owns nothing when size > 2.
+func segTable(n, size int) []cluster.Segment {
+	var segs []cluster.Segment
+	owner := 0
+	step := n/(3*size) + 1
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		o := owner % size
+		if size > 2 && o == size-1 {
+			o = 0 // leave the last rank ownerless: the pure-forwarder path
+		}
+		segs = append(segs, cluster.Segment{Lo: lo, Hi: hi, Owner: o})
+		owner++
+	}
+	return segs
+}
+
+func runAllgather(t *testing.T, ring *cluster.Ring, size, n int) {
+	t.Helper()
+	segs := segTable(n, size)
+	rng := rand.New(rand.NewSource(42))
+	expected := make([]float64, n)
+	for i := range expected {
+		expected[i] = rng.NormFloat64()
+	}
+	got := make([][]float64, size)
+	for r := range got {
+		got[r] = make([]float64, n)
+		for i := range got[r] {
+			got[r][i] = math.NaN() // poison: only owned/gathered values may survive
+		}
+		for _, sg := range segs {
+			if sg.Owner == r {
+				copy(got[r][sg.Lo:sg.Hi], expected[sg.Lo:sg.Hi])
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = ring.AllgatherSegments(rank, got[rank], segs)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < size; r++ {
+		for i := range expected {
+			if math.Float64bits(got[r][i]) != math.Float64bits(expected[i]) {
+				t.Fatalf("rank %d element %d: got %v want %v", r, i, got[r][i], expected[i])
+			}
+		}
+	}
+}
+
+func TestAllgatherSegmentsChan(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4} {
+		for _, n := range []int{1, 7, 64, 257} {
+			ring := cluster.NewRing(size, cluster.RoCE25())
+			runAllgather(t, ring, size, n)
+		}
+	}
+}
+
+func TestAllgatherSegmentsTCP(t *testing.T) {
+	for _, size := range []int{2, 3, 4} {
+		g, err := tcptransport.NewLoopbackGroup(size, tcptransport.Options{RingID: t.Name()})
+		if err != nil {
+			t.Fatalf("loopback group: %v", err)
+		}
+		ring := cluster.NewRingOver(g, cluster.RoCE25())
+		runAllgather(t, ring, size, 131)
+		g.Close()
+	}
+}

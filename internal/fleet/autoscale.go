@@ -37,6 +37,13 @@ type AutoscaleConfig struct {
 	// 250ms); between evaluations the conductor records the peak
 	// per-replica queue occupancy so short bursts are not missed.
 	Interval time.Duration
+	// ReassignBytesPerSec models the bandwidth available for migrating
+	// covariance shards when a pshard fleet resizes (default 1 GiB/s).
+	// The modeled transfer time of a candidate transition (its
+	// Sample.ReassignBytes, divided by this rate) extends the matching
+	// cooldown, so expensive repartitions happen less often than cheap
+	// ones.  Replicated fleets move no shards and are unaffected.
+	ReassignBytesPerSec float64
 }
 
 func (c AutoscaleConfig) withDefaults(replicas int) AutoscaleConfig {
@@ -65,6 +72,9 @@ func (c AutoscaleConfig) withDefaults(replicas int) AutoscaleConfig {
 	if c.Interval <= 0 {
 		c.Interval = 250 * time.Millisecond
 	}
+	if c.ReassignBytesPerSec <= 0 {
+		c.ReassignBytesPerSec = 1 << 30 // 1 GiB/s
+	}
 	return c
 }
 
@@ -91,6 +101,12 @@ type Sample struct {
 	StepLatency time.Duration
 	// Backlog is the total number of frames currently queued.
 	Backlog int
+	// ReassignBytesUp and ReassignBytesDown are the covariance bytes a
+	// scale-up or scale-down would migrate between ranks (0 for a
+	// replicated fleet, whose transitions move no P state).  The
+	// controller charges the modeled transfer time against the matching
+	// cooldown.
+	ReassignBytesUp, ReassignBytesDown int64
 }
 
 // Decision is the outcome of one autoscaler evaluation.
@@ -235,30 +251,49 @@ func (a *Autoscaler) Evaluate(s Sample) Verdict {
 	return v
 }
 
-// tryUp commits a scale-up unless the up cooldown still runs.
+// tryUp commits a scale-up unless the up cooldown — extended by the
+// modeled shard-transfer time of the transition — still runs.
 func (a *Autoscaler) tryUp(v *Verdict, s Sample, now time.Time, why string) {
-	if wait := a.cooldownLeft(now, a.cfg.UpCooldown); wait > 0 {
+	cost := a.transferCost(s.ReassignBytesUp)
+	if wait := a.cooldownLeft(now, a.cfg.UpCooldown+cost); wait > 0 {
 		v.Reason = fmt.Sprintf("%s, but up cooldown has %s left", why, wait)
 		return
 	}
 	v.Decision = ScaleUp
 	v.Target = s.Live + 1
 	v.Reason = fmt.Sprintf("%s: scaling %d -> %d", why, s.Live, v.Target)
+	if s.ReassignBytesUp > 0 {
+		v.Reason += fmt.Sprintf(" (repartition moves %d shard bytes, ~%s)", s.ReassignBytesUp, cost)
+	}
 	a.lastScale = now
 	a.ups.Add(1)
 }
 
-// tryDown commits a scale-down unless the down cooldown still runs.
+// tryDown commits a scale-down unless the down cooldown — extended by the
+// modeled shard-transfer time of the transition — still runs.
 func (a *Autoscaler) tryDown(v *Verdict, s Sample, now time.Time, why string) {
-	if wait := a.cooldownLeft(now, a.cfg.DownCooldown); wait > 0 {
+	cost := a.transferCost(s.ReassignBytesDown)
+	if wait := a.cooldownLeft(now, a.cfg.DownCooldown+cost); wait > 0 {
 		v.Reason = fmt.Sprintf("%s, but down cooldown has %s left", why, wait)
 		return
 	}
 	v.Decision = ScaleDown
 	v.Target = s.Live - 1
 	v.Reason = fmt.Sprintf("%s: scaling %d -> %d", why, s.Live, v.Target)
+	if s.ReassignBytesDown > 0 {
+		v.Reason += fmt.Sprintf(" (repartition moves %d shard bytes, ~%s)", s.ReassignBytesDown, cost)
+	}
 	a.lastScale = now
 	a.downs.Add(1)
+}
+
+// transferCost converts a shard-migration volume into the modeled wall
+// time at the configured reassignment bandwidth.
+func (a *Autoscaler) transferCost(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / a.cfg.ReassignBytesPerSec * float64(time.Second))
 }
 
 // cooldownLeft returns how much of cd is still pending since the last

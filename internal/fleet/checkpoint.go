@@ -14,6 +14,7 @@ import (
 	"fekf/internal/md"
 	"fekf/internal/online"
 	"fekf/internal/optimize"
+	"fekf/internal/pshard"
 )
 
 // ReplicaCheckpoint is one replica's private shard state: its replay
@@ -45,6 +46,13 @@ type Checkpoint struct {
 	Model    []byte // shared deepmd model stream (Model.EncodeTo)
 	Opt      *optimize.FEKFCheckpoint
 	Replicas []*ReplicaCheckpoint
+
+	// PShard records that the fleet ran with a sharded covariance; PCk
+	// then carries every P row slab exactly once — saved by its owner
+	// rank — plus the replicated scalar filter state.  Opt.Kalman is nil
+	// in this mode (no replica ever materializes the full P).
+	PShard bool
+	PCk    *pshard.Checkpoint
 }
 
 // encodeModel serializes a model into the shared checkpoint stream.
@@ -100,6 +108,20 @@ func (f *Fleet) buildCheckpoint() (*Checkpoint, error) {
 			Replay:         r.replay.Checkpoint(),
 			Gate:           r.gate.Checkpoint(),
 		})
+	}
+	if f.cfg.PShard {
+		var states []*pshard.State
+		for _, id := range f.pliveIDs {
+			if st := f.pstates[id]; st != nil {
+				states = append(states, st)
+			}
+		}
+		pck, err := pshard.BuildCheckpoint(states)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard checkpoint: %w", err)
+		}
+		ck.PShard = true
+		ck.PCk = pck
 	}
 	return ck, nil
 }
@@ -163,6 +185,11 @@ func Resume(ck *Checkpoint, cfg Config) (*Fleet, error) {
 	}
 	cfg.Replicas = len(ck.Replicas)
 	cfg.ShardPolicy = ck.ShardPolicy
+	cfg.PShard = ck.PShard
+	cfg.pshardResume = ck.PCk
+	if ck.PShard && ck.PCk == nil {
+		return nil, fmt.Errorf("fleet: sharded checkpoint has no covariance slabs")
+	}
 	proto := &dataset.Dataset{System: ck.System, Species: ck.Species}
 	f, err := New(m, opt, proto, cfg)
 	if err != nil {
@@ -171,7 +198,11 @@ func Resume(ck *Checkpoint, cfg Config) (*Fleet, error) {
 	f.naPer.Store(ck.NumAtoms)
 	f.steps.Store(ck.Steps)
 	f.rr.Store(ck.RR)
-	f.lambdaBits.Store(math.Float64bits(opt.Lambda()))
+	if ck.PShard {
+		f.lambdaBits.Store(math.Float64bits(ck.PCk.Lambda))
+	} else {
+		f.lambdaBits.Store(math.Float64bits(opt.Lambda()))
+	}
 	for i, rck := range ck.Replicas {
 		r := f.reps[i]
 		r.alive.Store(rck.Alive)

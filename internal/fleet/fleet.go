@@ -17,6 +17,7 @@ import (
 	"fekf/internal/obs"
 	"fekf/internal/online"
 	"fekf/internal/optimize"
+	"fekf/internal/pshard"
 )
 
 // ErrNoReplica is returned by Ingest when every replica is dead.
@@ -28,6 +29,18 @@ type Config struct {
 	Replicas int
 	// ShardPolicy selects how ingest frames are partitioned.
 	ShardPolicy ShardPolicy
+	// PShard shards the Kalman covariance P across the replicas instead of
+	// replicating it: each replica holds only its assigned row slabs (see
+	// internal/pshard), the per-step P·g fragments are exchanged over the
+	// ring, and the weights stay bitwise identical to the replicated fleet.
+	// Use it when P does not fit one host; the per-replica resident P drops
+	// to ~1/R of the replicated footprint at the cost of one extra
+	// allgather per measurement update.
+	PShard bool
+	// pshardResume carries a sharded covariance checkpoint from Resume
+	// into New, so the initial shard states restore instead of starting
+	// from the identity prior.
+	pshardResume *pshard.Checkpoint
 	// BatchSize is the per-replica minibatch drawn from each replica's
 	// replay buffer per lockstep step; the global batch is the union.
 	BatchSize int
@@ -154,6 +167,16 @@ type Fleet struct {
 	retiredMu   sync.Mutex
 	retiredTr   cluster.TransportStats
 
+	// sharded-covariance state (PShard mode; all conductor-owned except
+	// the pstats mirror): the fixed block structure, the per-slot shard
+	// states (nil for slots holding no shards), the installed assignment
+	// and the live set it was built for.
+	pblocks  []optimize.Block
+	pstates  []*pshard.State
+	passign  pshard.Assignment
+	pliveIDs []int
+	pstats   atomic.Pointer[PShardStats]
+
 	rr atomic.Uint64 // round-robin shard cursor
 
 	steps      atomic.Int64
@@ -235,6 +258,12 @@ func New(m *deepmd.Model, opt *optimize.FEKF, proto *dataset.Dataset, cfg Config
 		f.naPer.Store(int64(proto.Snapshots[0].NumAtoms()))
 	}
 	f.lambdaBits.Store(math.Float64bits(f.reps[0].opt.Lambda()))
+	if cfg.PShard {
+		if err := f.initShards(m, opt, f.liveIDs()); err != nil {
+			return nil, err
+		}
+		f.storeLambda(f.liveIDs())
+	}
 	return f, nil
 }
 
@@ -517,6 +546,17 @@ func (f *Fleet) maybeAutoscale() {
 		StepLatency:    f.stepLatency(),
 		Backlog:        backlog,
 	}
+	if f.cfg.PShard && f.passign.Ranks > 0 {
+		// Shard-reassignment cost of the candidate transitions: growing or
+		// shrinking the fleet repartitions P, and the controller charges
+		// the modeled transfer time against its cooldowns.
+		if len(live) < len(f.reps) && len(live) > 0 {
+			s.ReassignBytesUp = pshard.ReassignBytes(f.passign, pshard.Partition(f.pblocks, len(live)+1))
+		}
+		if len(live) > 1 {
+			s.ReassignBytesDown = pshard.ReassignBytes(f.passign, pshard.Partition(f.pblocks, len(live)-1))
+		}
+	}
 	f.peakOcc = 0
 	v := f.scaler.Evaluate(s)
 	if m := f.cfg.Metrics; m != nil {
@@ -777,6 +817,16 @@ func (f *Fleet) step() {
 		f.setErr(fmt.Errorf("fleet: form ring: %w", err))
 		return
 	}
+	if f.cfg.PShard {
+		// Repartition lazily, exactly when the ring re-forms over a new
+		// live set: a killed victim's slabs migrate to the survivors, a
+		// revived replica receives its share — all bitwise through the
+		// in-memory sharded checkpoint.
+		if err := f.ensureShards(live); err != nil {
+			f.setErr(err)
+			return
+		}
+	}
 	ref := f.reps[live[0]].opt
 	params := cluster.StepParams{
 		Scale:       ref.Factor.Apply(total),
@@ -803,14 +853,19 @@ func (f *Fleet) step() {
 			if f.failStep != nil {
 				inject = func() error { return f.failStep(id, stepNo) }
 			}
-			infos[rank], errs[rank] = cluster.RankStep(ring, rank, r.model, r.opt.State(), params,
-				shares[rank].ds, shares[rank].idx, inject)
+			if f.cfg.PShard {
+				infos[rank], errs[rank] = pshard.RankStep(ring, rank, r.model, f.pstates[id], params,
+					shares[rank].ds, shares[rank].idx, inject)
+			} else {
+				infos[rank], errs[rank] = cluster.RankStep(ring, rank, r.model, r.opt.State(), params,
+					shares[rank].ds, shares[rank].idx, inject)
+			}
 		}(k, id)
 	}
 	wg.Wait()
 
 	n := f.steps.Add(1)
-	f.lambdaBits.Store(math.Float64bits(ref.Lambda()))
+	f.storeLambda(live)
 	if err := errors.Join(errs...); err != nil {
 		f.setErr(fmt.Errorf("step %d: %w", n, err))
 		if errors.Is(err, cluster.ErrRingBroken) {
@@ -819,10 +874,13 @@ func (f *Fleet) step() {
 			// are not merely stale but divergent — reconcile the
 			// survivors bitwise and retire the broken ring.
 			live = f.recoverRing(ring, err)
+			if f.cfg.PShard {
+				f.recoverShards(live)
+			}
 			if len(live) == 0 {
 				return
 			}
-			f.lambdaBits.Store(math.Float64bits(f.reps[live[0]].opt.Lambda()))
+			f.storeLambda(live)
 		}
 	}
 	f.updateInvariants(live)
@@ -855,7 +913,9 @@ func (f *Fleet) step() {
 // updateInvariants refreshes the fleet's consistency gauges: the maximum
 // absolute weight difference and P difference between the first live
 // replica and every other live replica.  Both must be exactly zero under
-// the funnel-aggregated schedule.
+// the funnel-aggregated schedule.  In pshard mode the P gauge reports the
+// replicated scalar filter state's drift instead (the slabs are disjoint,
+// see shardDrift), and the per-replica resident-P mirrors are refreshed.
 func (f *Fleet) updateInvariants(live []int) {
 	ref := f.reps[live[0]]
 	refW := ref.model.Params.FlattenValues()
@@ -867,8 +927,23 @@ func (f *Fleet) updateInvariants(live []int) {
 				wd = d
 			}
 		}
-		if d := ref.opt.State().PDrift(f.reps[id].opt.State()); d > pd {
-			pd = d
+		if !f.cfg.PShard {
+			if d := ref.opt.State().PDrift(f.reps[id].opt.State()); d > pd {
+				pd = d
+			}
+		}
+	}
+	if f.cfg.PShard {
+		pd = f.shardDrift(live)
+	}
+	for _, id := range live {
+		r := f.reps[id]
+		if f.cfg.PShard {
+			if st := f.pstates[id]; st != nil {
+				r.pBytes.Store(st.PBytes())
+			}
+		} else {
+			r.pBytes.Store(r.opt.PBytes())
 		}
 	}
 	f.wDriftBits.Store(math.Float64bits(wd))
@@ -914,6 +989,10 @@ type ReplicaStats struct {
 	SnapshotStep   int64   `json:"snapshot_step"`
 	SnapshotAgeMs  int64   `json:"snapshot_age_ms"`
 	PredictsRouted int64   `json:"predicts_routed"`
+	// PResidentBytes is the replica's resident covariance footprint: the
+	// full P under replication, only the owned row slabs under pshard —
+	// the same value the fekf_p_resident_bytes gauge exports.
+	PResidentBytes int64 `json:"p_resident_bytes"`
 }
 
 // Stats is the fleet-level observable state served at /v1/stats.
@@ -935,7 +1014,11 @@ type Stats struct {
 	// autoscaling is disabled): current/target live counts, the last
 	// decision with its reason, and the scale-event counters.
 	Autoscale *AutoscaleStats `json:"autoscale,omitempty"`
-	Replica   []ReplicaStats  `json:"replica"`
+	// PShard is the sharded-covariance row (nil for replicated fleets):
+	// partition geometry, per-rank resident P bytes and the modeled
+	// exchange traffic per step.
+	PShard  *PShardStats   `json:"pshard,omitempty"`
+	Replica []ReplicaStats `json:"replica"`
 }
 
 // FleetStats returns the per-replica view; safe from any goroutine.
@@ -971,6 +1054,7 @@ func (f *Fleet) FleetStats() Stats {
 			ReplaySize:     r.replayLen.Load(),
 			GateEMA:        math.Float64frombits(r.gateEMA.Load()),
 			PredictsRouted: r.routed.Load(),
+			PResidentBytes: r.pBytes.Load(),
 		}
 		if s := r.snap.Load(); s != nil {
 			rs.SnapshotStep = s.Step
@@ -983,6 +1067,9 @@ func (f *Fleet) FleetStats() Stats {
 	}
 	if f.scaler != nil {
 		st.Autoscale = f.scaler.statsRow(st.Live, f.stepLatency())
+	}
+	if f.cfg.PShard {
+		st.PShard = f.pstats.Load()
 	}
 	return st
 }
@@ -1001,6 +1088,7 @@ func (f *Fleet) Stats() online.Stats {
 	var emaSum float64
 	var emaN int64
 	for _, r := range f.reps {
+		st.PResidentBytes += r.pBytes.Load()
 		st.QueueDepth += r.queue.Depth()
 		st.QueueCapacity += r.queue.Cap()
 		st.FramesQueued += r.queue.Pushed()

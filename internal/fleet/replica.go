@@ -27,6 +27,10 @@ type replica struct {
 	clock Clock
 	model *deepmd.Model
 	opt   *optimize.FEKF
+	// pshard marks the sharded-covariance fleet mode: the replica's own
+	// FEKF never materializes a full Kalman state (that is the point of
+	// sharding) — the conductor holds the rank's P slabs in Fleet.pstates.
+	pshard bool
 
 	queue  *online.Queue
 	replay *online.ReplayBuffer
@@ -34,6 +38,10 @@ type replica struct {
 
 	snap  atomic.Pointer[online.ModelSnapshot]
 	alive atomic.Bool
+	// pBytes mirrors the replica's resident covariance bytes (full P
+	// replicated, or the owned slabs under pshard) for the stats readers;
+	// the conductor refreshes it after steps and membership changes.
+	pBytes atomic.Int64
 
 	// mirrored observability (written by the conductor / router, read by
 	// Stats from any goroutine)
@@ -58,19 +66,25 @@ func newReplica(id int, m *deepmd.Model, opt *optimize.FEKF, cfg Config) (*repli
 	}
 	// Eager state: NewKalmanState is deterministic (P = I), so replicas
 	// built this way start bit-identical even before the first step, and
-	// the gate has a P diagonal to score against immediately.
-	ropt.InitState(model)
+	// the gate has a P diagonal to score against immediately.  In pshard
+	// mode the full state is never built — the conductor allocates only
+	// this replica's row slabs.
+	if !cfg.PShard {
+		ropt.InitState(model)
+	}
 	r := &replica{
 		id:     id,
 		dev:    dev,
 		clock:  cfg.Clock,
 		model:  model,
 		opt:    ropt,
+		pshard: cfg.PShard,
 		queue:  online.NewQueue(cfg.QueueSize, cfg.QueuePolicy),
 		replay: online.NewReplay(cfg.WindowSize, cfg.ReservoirSize, cfg.Seed+int64(id)),
 		gate:   online.NewGate(cfg.Gate),
 	}
 	r.alive.Store(true)
+	r.pBytes.Store(ropt.PBytes())
 	return r, nil
 }
 
@@ -83,8 +97,19 @@ func (f *Fleet) admit(r *replica, s dataset.Snapshot) {
 	a0 := time.Now()
 	defer func() { f.rec.Span(r.id, "ingest_admit", a0, time.Since(a0)) }()
 	scratch := &dataset.Dataset{System: f.system, Species: f.species, Snapshots: []dataset.Snapshot{s}}
+	// Under pshard each replica gates on the diagonal of its own owned P
+	// rows (zeros elsewhere) — a documented approximation: scores touching
+	// unowned rows read 0, so the partial gate is more permissive than the
+	// full diagonal, never stricter.
+	pd := r.opt.PDiagonal()
+	if f.cfg.PShard {
+		pd = nil
+		if st := f.pstates[r.id]; st != nil {
+			pd = st.PDiagonalOwned()
+		}
+	}
 	g0 := time.Now()
-	ok, _, err := r.gate.Admit(r.model, r.opt.PDiagonal(), scratch, 0)
+	ok, _, err := r.gate.Admit(r.model, pd, scratch, 0)
 	f.rec.Span(r.id, "gate", g0, time.Since(g0))
 	if err != nil {
 		f.setErr(fmt.Errorf("replica %d gate: %w", r.id, err))
@@ -132,7 +157,11 @@ func (r *replica) restoreShared(modelBytes []byte, opt *optimize.FEKFCheckpoint)
 	if err != nil {
 		return fmt.Errorf("fleet: replica %d optimizer: %w", r.id, err)
 	}
-	ropt.InitState(m)
+	// In pshard mode the checkpoint carries no Kalman state (P lives in
+	// the conductor's shard states) and none is materialized here.
+	if !r.pshard {
+		ropt.InitState(m)
+	}
 	r.model, r.opt = m, ropt
 	return nil
 }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ChromeEvent is one entry of the Trace Event Format consumed by
+// chrome://tracing and Perfetto.  Only the complete-event subset ("ph":
+// "X") plus thread-name metadata ("ph": "M") is emitted; timestamps and
+// durations are microseconds, fractional so sub-microsecond spans from a
+// tiny model's gain stage stay visible.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTraceFile is the JSON-object form of the Trace Event Format.
+type ChromeTraceFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+}
+
+// chromeTracePid is the single process id used in exported traces; the
+// interesting concurrency axis is ranks, mapped onto threads.
+const chromeTracePid = 1
+
+// chromeTid maps a span rank onto a chrome://tracing thread id: the
+// conductor (rank -1) renders as tid 0, rank r as tid r+1 so replica rows
+// sort naturally under the conductor.
+func chromeTid(rank int) int { return rank + 1 }
+
+// ChromeTrace converts step traces (as returned by Tracer.Last, oldest
+// first) into Trace Event Format.  Timestamps are relative to the earliest
+// step's start so the viewer opens at t=0 regardless of wall-clock epoch.
+// Each step contributes one enclosing "step N" event on the conductor row
+// plus one event per recorded span on its rank's row.
+func ChromeTrace(steps []StepTrace) *ChromeTraceFile {
+	out := &ChromeTraceFile{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	if len(steps) == 0 {
+		return out
+	}
+	base := steps[0].Start
+	for _, tr := range steps {
+		if tr.Start.Before(base) {
+			base = tr.Start
+		}
+	}
+	tids := map[int]bool{chromeTid(-1): true}
+	for _, tr := range steps {
+		stepTs := float64(tr.Start.Sub(base).Nanoseconds()) / 1e3
+		args := map[string]any{"step": tr.Step}
+		if tr.LostSpans > 0 {
+			args["lost_spans"] = tr.LostSpans
+		}
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Name: fmt.Sprintf("step %d", tr.Step),
+			Cat:  "step",
+			Ph:   "X",
+			Ts:   stepTs,
+			Dur:  float64(tr.DurNs) / 1e3,
+			Pid:  chromeTracePid,
+			Tid:  chromeTid(-1),
+			Args: args,
+		})
+		for _, s := range tr.Spans {
+			tids[chromeTid(s.Rank)] = true
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: s.Name,
+				Cat:  "phase",
+				Ph:   "X",
+				Ts:   stepTs + float64(s.StartNs)/1e3,
+				Dur:  float64(s.DurNs) / 1e3,
+				Pid:  chromeTracePid,
+				Tid:  chromeTid(s.Rank),
+				Args: map[string]any{"step": tr.Step, "rank": s.Rank},
+			})
+		}
+	}
+	// Thread-name metadata labels each row; sorted tids keep the output
+	// deterministic for golden comparison.
+	var order []int
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		name := "conductor"
+		if tid > 0 {
+			name = fmt.Sprintf("rank %d", tid-1)
+		}
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  chromeTracePid,
+			Tid:  tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	return out
+}
+
+// MarshalIndent renders the trace file as indented JSON ready to load into
+// chrome://tracing or ui.perfetto.dev.
+func (f *ChromeTraceFile) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenSteps builds two deterministic step traces: a conductor-only step
+// and a 2-rank collective step with a sub-microsecond gain span, covering
+// the tid mapping (conductor → 0, rank r → r+1), relative timestamps and
+// the lost-span annotation.
+func goldenSteps() []StepTrace {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return []StepTrace{
+		{
+			Step:  7,
+			Start: base,
+			DurNs: 1_500_000, // 1.5 ms
+			Spans: []Span{
+				{Name: "drain", Rank: -1, StartNs: 0, DurNs: 400_000},
+				{Name: "checkpoint", Rank: -1, StartNs: 450_000, DurNs: 1_000_000},
+			},
+		},
+		{
+			Step:      8,
+			Start:     base.Add(2 * time.Millisecond),
+			DurNs:     2_000_000,
+			LostSpans: 3,
+			Spans: []Span{
+				{Name: "forward", Rank: 0, StartNs: 0, DurNs: 900_000},
+				{Name: "forward", Rank: 1, StartNs: 100_000, DurNs: 800_000},
+				{Name: "gain", Rank: 1, StartNs: 950_000, DurNs: 750}, // 0.75 µs
+				{Name: "allgather", Rank: 0, StartNs: 1_000_000, DurNs: 500_000},
+			},
+		},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	got, err := ChromeTrace(goldenSteps()).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("chrome trace mismatch (run with -update to rewrite)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	f := ChromeTrace(goldenSteps())
+	// 2 step events + 6 spans + 3 thread-name rows (conductor, rank 0, 1).
+	if len(f.TraceEvents) != 11 {
+		t.Fatalf("got %d events, want 11", len(f.TraceEvents))
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "M" {
+			t.Fatalf("event %q has phase %q", ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Pid != 1 || ev.Tid < 0 {
+			t.Fatalf("event %+v has an invalid coordinate", ev)
+		}
+	}
+	// The earliest step anchors the timeline at ts=0.
+	if f.TraceEvents[0].Ts != 0 {
+		t.Fatalf("first step ts = %v, want 0", f.TraceEvents[0].Ts)
+	}
+	// Rank 1's gain span: tid 2, sub-microsecond duration preserved.
+	var found bool
+	for _, ev := range f.TraceEvents {
+		if ev.Name == "gain" {
+			found = true
+			if ev.Tid != 2 || ev.Dur != 0.75 {
+				t.Fatalf("gain span %+v, want tid 2 dur 0.75µs", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("gain span missing from export")
+	}
+	if ChromeTrace(nil).TraceEvents == nil {
+		t.Fatal("empty export must still marshal as an array, not null")
+	}
+}
+
+func TestTracerHandlerChromeFormat(t *testing.T) {
+	tr := NewTracer(4)
+	r := tr.Begin()
+	r.Span(0, "forward", r.StartTime(), time.Millisecond)
+	r.End(42)
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/trace?format=chrome", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	var f ChromeTraceFile
+	if err := json.Unmarshal(rec.Body.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ms" || len(f.TraceEvents) == 0 {
+		t.Fatalf("chrome export %+v", f)
+	}
+	if !strings.Contains(rec.Header().Get("Content-Disposition"), "fekf_trace.json") {
+		t.Errorf("missing download disposition, got %q", rec.Header().Get("Content-Disposition"))
+	}
+
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/trace?format=tsv", nil))
+	if rec.Code != 400 {
+		t.Errorf("unknown format: status = %d, want 400", rec.Code)
+	}
+}

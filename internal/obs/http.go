@@ -31,7 +31,8 @@ type TraceResponse struct {
 }
 
 // Handler serves the tracer at GET /v1/trace as JSON; ?n=K limits the
-// response to the most recent K traces.
+// response to the most recent K traces and ?format=chrome re-renders them
+// as Trace Event Format for chrome://tracing / Perfetto.
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		n := 0
@@ -43,13 +44,27 @@ func (t *Tracer) Handler() http.Handler {
 			}
 			n = v
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(TraceResponse{
-			Capacity: t.Capacity(),
-			Recorded: t.Recorded(),
-			Dropped:  t.Dropped(),
-			Steps:    t.Last(n),
-		})
+		switch format := req.URL.Query().Get("format"); format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(TraceResponse{
+				Capacity: t.Capacity(),
+				Recorded: t.Recorded(),
+				Dropped:  t.Dropped(),
+				Steps:    t.Last(n),
+			})
+		case "chrome":
+			b, err := ChromeTrace(t.Last(n)).MarshalIndent()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="fekf_trace.json"`)
+			w.Write(b)
+		default:
+			http.Error(w, `{"error":"format must be json or chrome"}`, http.StatusBadRequest)
+		}
 	})
 }
 

@@ -121,6 +121,7 @@ type Trainer struct {
 	snap       atomic.Pointer[ModelSnapshot]
 	steps      atomic.Int64
 	lambdaBits atomic.Uint64
+	pBytes     atomic.Int64
 	gateEMA    atomic.Uint64
 	accepted   atomic.Int64
 	gatedOut   atomic.Int64
@@ -175,6 +176,7 @@ func NewTrainer(m *deepmd.Model, opt *optimize.FEKF, proto *dataset.Dataset, cfg
 	}
 	t.replayCap.Store(int64(cfg.WindowSize + cfg.ReservoirSize))
 	t.lambdaBits.Store(math.Float64bits(opt.Lambda()))
+	t.pBytes.Store(opt.PBytes())
 	return t, nil
 }
 
@@ -409,6 +411,7 @@ func (t *Trainer) step() {
 	}
 	n := t.steps.Add(1)
 	t.lambdaBits.Store(math.Float64bits(t.opt.Lambda()))
+	t.pBytes.Store(t.opt.PBytes())
 	if t.cfg.OnStep != nil {
 		t.cfg.OnStep(n, info)
 	}
@@ -488,7 +491,12 @@ type Stats struct {
 	SnapshotStep       int64   `json:"snapshot_step"`
 	SnapshotAgeMs      int64   `json:"snapshot_age_ms"`
 	Checkpoints        int64   `json:"checkpoints_written"`
-	LastError          string  `json:"last_error,omitempty"`
+	// PResidentBytes is the resident Kalman covariance footprint (summed
+	// across replicas for a fleet; each replica holds the full P when
+	// replicated, only its owned row slabs under covariance sharding) —
+	// the same quantity the fekf_p_resident_bytes gauge exports.
+	PResidentBytes int64  `json:"p_resident_bytes"`
+	LastError      string `json:"last_error,omitempty"`
 }
 
 // Stats returns a consistent-enough view assembled from atomics; safe from
@@ -513,6 +521,7 @@ func (t *Trainer) Stats() Stats {
 		ReplayReservoirLen: t.replayRes.Load(),
 		ReplayCapacity:     t.replayCap.Load(),
 		Checkpoints:        t.ckWrites.Load(),
+		PResidentBytes:     t.pBytes.Load(),
 	}
 	if st.ReplayCapacity > 0 {
 		st.ReplayOccupancy = float64(st.ReplaySize) / float64(st.ReplayCapacity)

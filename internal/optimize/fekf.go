@@ -100,6 +100,17 @@ func (f *FEKF) Name() string { return f.name }
 // experiment harness for memory and block-structure reporting.
 func (f *FEKF) State() *KalmanState { return f.ks }
 
+// PBytes returns the device bytes resident in the covariance blocks (0
+// before the Kalman state exists).  Replicated and sharded fleets report
+// the same gauge off this method, making their memory footprints directly
+// comparable.
+func (f *FEKF) PBytes() int64 {
+	if f.ks == nil {
+		return 0
+	}
+	return f.ks.PBytes()
+}
+
 // InitState creates the Kalman state ahead of the first Step and returns
 // it (a no-op once initialized).  Fleet replicas initialize their filters
 // eagerly so the distributed step and the shared-state checkpoint can

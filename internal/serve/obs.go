@@ -11,6 +11,10 @@ import (
 	"fekf/internal/online"
 )
 
+// maxRankGauges caps how many per-rank gauge children the collector
+// materializes — a fleet never has anywhere near this many replicas.
+const maxRankGauges = 1024
+
 // httpMetrics is the server's push-side instrument set: per-route request
 // counts/latency and the predict micro-batch size distribution.
 type httpMetrics struct {
@@ -73,6 +77,12 @@ type backendCollector struct {
 	be Backend
 	fs FleetStatser
 
+	// Per-rank gauge families (fleet backends only): resident covariance
+	// bytes and owned shard count, written in collect() so the labelled
+	// children always reflect the same snapshot the func metrics read.
+	pBytes  *obs.GaugeVec
+	pShards *obs.GaugeVec
+
 	mu  sync.Mutex
 	st  online.Stats
 	fst fleet.Stats
@@ -83,6 +93,27 @@ func (c *backendCollector) collect() {
 	var fst fleet.Stats
 	if c.fs != nil {
 		fst = c.fs.FleetStats()
+	}
+	if c.pBytes != nil {
+		// The pshard arrays are indexed by rank; join them onto replicas
+		// through the rank→replica map so a shrunken live set attributes
+		// shard counts to the right replica id.
+		shardsByID := map[int]int{}
+		if fst.PShard != nil {
+			for rank, id := range fst.PShard.RankReplicaIDs {
+				if rank < len(fst.PShard.ShardsPerRank) {
+					shardsByID[id] = fst.PShard.ShardsPerRank[rank]
+				}
+			}
+		}
+		for _, rs := range fst.Replica {
+			if rs.ID >= maxRankGauges {
+				break
+			}
+			label := strconv.Itoa(rs.ID)
+			c.pBytes.With(label).Set(float64(rs.PResidentBytes))
+			c.pShards.With(label).Set(float64(shardsByID[rs.ID]))
+		}
 	}
 	c.mu.Lock()
 	c.st = st
@@ -164,8 +195,34 @@ func registerBackendMetrics(reg *obs.Registry, be Backend) {
 		c.stat(func(s online.Stats) float64 { return float64(s.Checkpoints) }))
 
 	if c.fs == nil {
+		// Single-trainer backend: one resident-P value, same name as the
+		// fleet's per-rank gauge so the footprint is comparable across
+		// modes (replicated, sharded, single host).
+		reg.GaugeFunc("fekf_p_resident_bytes",
+			"Resident Kalman covariance (P) bytes.",
+			c.stat(func(s online.Stats) float64 { return float64(s.PResidentBytes) }))
 		return
 	}
+	c.pBytes = reg.Gauge("fekf_p_resident_bytes",
+		"Resident Kalman covariance (P) bytes per replica: the full P under replication, only the owned row slabs under -pshard.", "rank")
+	c.pShards = reg.Gauge("fekf_pshard_shards",
+		"Covariance row slabs owned by each replica (0 for replicated fleets).", "rank")
+	reg.GaugeFunc("fekf_pshard_imbalance_ratio",
+		"Largest/mean rank share of the sharded covariance (0 for replicated fleets).",
+		c.fstat(func(s fleet.Stats) float64 {
+			if s.PShard == nil {
+				return 0
+			}
+			return s.PShard.ImbalanceRatio
+		}))
+	reg.GaugeFunc("fekf_pshard_exchange_bytes",
+		"Modeled P·g exchange payload per sharded step (0 for replicated fleets).",
+		c.fstat(func(s fleet.Stats) float64 {
+			if s.PShard == nil {
+				return 0
+			}
+			return float64(s.PShard.ExchangeBytesPerStep)
+		}))
 	reg.GaugeFunc("fekf_fleet_replicas",
 		"Allocated replica slots.",
 		c.fstat(func(s fleet.Stats) float64 { return float64(s.Replicas) }))

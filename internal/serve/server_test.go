@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
 	"fekf/internal/fleet"
+	"fekf/internal/obs"
 	"fekf/internal/online"
 	"fekf/internal/optimize"
 )
@@ -321,7 +324,7 @@ func TestStatsReplayAndGateFields(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	for _, key := range []string{"replay_occupancy", "replay_capacity", "replay_window_len", "replay_reservoir_len", "gate_accept_rate"} {
+	for _, key := range []string{"replay_occupancy", "replay_capacity", "replay_window_len", "replay_reservoir_len", "gate_accept_rate", "p_resident_bytes"} {
 		if _, ok := raw[key]; !ok {
 			t.Fatalf("/v1/stats JSON missing %q", key)
 		}
@@ -466,5 +469,160 @@ func TestServerFleetBackend(t *testing.T) {
 	}
 	if as.Evals > 0 && (as.LastDecision != "hold" || as.LastReason == "") {
 		t.Fatalf("autoscale row lacks decision provenance: %+v", as)
+	}
+}
+
+// A sharded-covariance fleet behind the server: /v1/stats grows the pshard
+// row (partition geometry, per-rank resident P bytes, exchange traffic) and
+// /metrics exports the per-rank gauges.
+func TestServerPShardBackend(t *testing.T) {
+	ds, err := dataset.Generate("Cu", dataset.GenOptions{
+		Snapshots: 16, SampleEvery: 4, EquilSteps: 25, Tiny: true, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := deepmd.SnapshotSystem(ds, &ds.Snapshots[0])
+	m, err := deepmd.NewModel(deepmd.TinyConfig(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Level = deepmd.OptAll
+	m.Dev = device.New("serve-pshard-test", device.A100())
+	if err := m.InitFromDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	opt := optimize.NewFEKF()
+	opt.KCfg = opt.KCfg.WithOpt3()
+	reg := obs.NewRegistry()
+	fl, err := fleet.New(m, opt, ds, fleet.Config{
+		Replicas: 3, BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, TrainIdle: true, Seed: 5,
+		PShard: true, Gate: online.GateConfig{Enabled: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Start()
+	srv := New(fl, Config{Metrics: reg})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	base := "http://" + srv.Addr()
+
+	req := FramesRequest{}
+	for i := 0; i < 9; i++ {
+		req.Frames = append(req.Frames, framePayload(ds, i))
+	}
+	var fresp FramesResponse
+	if code, err := postJSON(t, base+"/v1/frames", req, &fresp); err != nil || code != http.StatusOK {
+		t.Fatalf("frames: %d %v", code, err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var stats StatsResponse
+	for {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if stats.Steps >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sharded fleet made no progress: %+v", stats.Stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stats.Fleet == nil || stats.Fleet.PShard == nil {
+		t.Fatalf("/v1/stats has no pshard row for a sharded fleet: %+v", stats.Fleet)
+	}
+	ps := stats.Fleet.PShard
+	if ps.Ranks != 3 || len(ps.ResidentBytesPerRank) != 3 || len(ps.ShardsPerRank) != 3 {
+		t.Fatalf("pshard row geometry: %+v", ps)
+	}
+	var sum int64
+	for _, b := range ps.ResidentBytesPerRank {
+		if b <= 0 || b >= ps.TotalBytes {
+			t.Fatalf("per-rank resident bytes %d not a strict share of %d", b, ps.TotalBytes)
+		}
+		sum += b
+	}
+	if sum != ps.TotalBytes {
+		t.Fatalf("resident bytes sum %d != total %d", sum, ps.TotalBytes)
+	}
+	if ps.ExchangeBytesPerStep <= 0 || ps.ImbalanceRatio < 1 {
+		t.Fatalf("pshard row footprint: %+v", ps)
+	}
+	for _, rs := range stats.Fleet.Replica {
+		if rs.Alive && rs.PResidentBytes <= 0 {
+			t.Fatalf("live replica %d reports no resident P", rs.ID)
+		}
+	}
+	// Drift invariants hold over HTTP in sharded mode too.
+	if stats.Fleet.WeightDrift != 0 || stats.Fleet.PDrift != 0 {
+		t.Fatalf("sharded drift over HTTP: %g / %g", stats.Fleet.WeightDrift, stats.Fleet.PDrift)
+	}
+	// Raw JSON carries the documented pshard field names.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	fl_, ok := raw["fleet"].(map[string]any)
+	if !ok {
+		t.Fatal("raw stats JSON has no fleet section")
+	}
+	prow, ok := fl_["pshard"].(map[string]any)
+	if !ok {
+		t.Fatal("raw fleet JSON has no pshard row")
+	}
+	for _, key := range []string{"ranks", "blocks", "rank_replica_ids", "shards_per_rank",
+		"resident_bytes_per_rank", "total_bytes", "imbalance_ratio", "exchange_bytes_per_step"} {
+		if _, ok := prow[key]; !ok {
+			t.Fatalf("pshard row JSON missing %q", key)
+		}
+	}
+
+	// /metrics exports the per-rank gauges with non-zero values.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d %v", resp.StatusCode, err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`fekf_p_resident_bytes{rank="0"}`,
+		`fekf_p_resident_bytes{rank="2"}`,
+		`fekf_pshard_shards{rank="0"}`,
+		"# TYPE fekf_pshard_imbalance_ratio gauge",
+		"fekf_pshard_exchange_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `fekf_p_resident_bytes{rank="0"} `) {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("rank 0 resident-bytes gauge stuck at 0: %q", line)
+			}
+		}
 	}
 }
