@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-pipeline race-online race-fleet race-pshard race-transport race-autoscale race-obs fuzz bench bench-fleet bench-pshard bench-json bench-transport bench-autoscale bench-obs fmt serve-smoke
+.PHONY: ci vet test race race-pipeline race-online race-fleet race-pshard race-transport race-autoscale race-obs race-guard fuzz bench bench-fleet bench-pshard bench-json bench-transport bench-autoscale bench-obs fmt serve-smoke
 
-ci: vet test race race-pipeline race-online race-fleet race-pshard race-transport race-autoscale race-obs fuzz bench-fleet bench-pshard bench-transport bench-autoscale bench-obs serve-smoke
+ci: vet test race race-pipeline race-online race-fleet race-pshard race-transport race-autoscale race-obs race-guard fuzz bench-fleet bench-pshard bench-transport bench-autoscale bench-obs serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -69,6 +69,18 @@ race-obs:
 	$(GO) test -race -timeout 15m -count=1 -run 'Observability|Obs|Instrumentation' \
 		./internal/online ./internal/fleet ./internal/serve
 
+# Soak the self-healing layer under the race detector: the sentinel/ring/
+# frame unit tests, then the guard integration across trainer, fleet and
+# serve — divergence auto-rollback to the newest healthy ring generation,
+# corrupt-checkpoint quarantine, the conductor step watchdog mapping a hung
+# rank onto the replica-death path, and the chaos soak (byte flips + NaN
+# poison + hung rank over {replicated,pshard} × {chan,tcp}) with continuous
+# predict availability and bitwise drift==0 recovery.
+race-guard:
+	$(GO) test -race -timeout 20m -count=1 ./internal/guard
+	$(GO) test -race -timeout 30m -count=1 -run 'Guard|Rollback|Watchdog|Chaos|Corrupt|Quarantine' \
+		./internal/online ./internal/fleet ./internal/serve
+
 # The TCP ring transport runs four goroutines per endpoint (accept, read,
 # heartbeat, plus the caller) against shared connection state, reconnect
 # and abort paths.  Soak the wire protocol and the chan-vs-TCP bitwise
@@ -85,10 +97,15 @@ race-transport:
 # invariant, a replica kill (predict availability must survive) and a
 # checkpoint-catch-up rejoin.  The -pshard runs repeat the fleet loop with
 # the covariance sharded across the ranks (chan and TCP transports),
-# checking the ~1/R resident-P split and the exchange trace span.
+# checking the ~1/R resident-P split and the exchange trace span.  The
+# -chaos runs poison the weights mid-run and require the guard to roll the
+# trainer (and the whole fleet) back to the newest checkpoint-ring
+# generation automatically, with predictions answering throughout.
 serve-smoke:
 	$(GO) run ./cmd/serve -smoke
+	$(GO) run ./cmd/serve -smoke -chaos
 	$(GO) run ./cmd/serve -smoke -replicas 3
+	$(GO) run ./cmd/serve -smoke -replicas 3 -chaos
 	$(GO) run ./cmd/serve -smoke -replicas 3 -transport tcp
 	$(GO) run ./cmd/serve -smoke -replicas 3 -pshard
 	$(GO) run ./cmd/serve -smoke -replicas 3 -pshard -transport tcp

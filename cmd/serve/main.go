@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ import (
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
 	"fekf/internal/fleet"
+	"fekf/internal/guard"
 	"fekf/internal/md"
 	"fekf/internal/obs"
 	"fekf/internal/online"
@@ -62,7 +64,11 @@ func main() {
 		snapEvery   = flag.Int("snapshot-every", 4, "steps between published model snapshots")
 		ckptPath    = flag.String("checkpoint", "", "combined checkpoint path (enables periodic checkpoints)")
 		ckptEvery   = flag.Int("checkpoint-every", 16, "steps between periodic checkpoints")
-		resume      = flag.Bool("resume", false, "resume from -checkpoint if it exists")
+		ckptKeep    = flag.Int("checkpoint-keep", 3, "checksummed checkpoint ring generations retained around -checkpoint (0 = legacy single file)")
+		resume      = flag.Bool("resume", false, "resume from -checkpoint if it exists (newest valid ring generation, quarantining corrupt ones)")
+		guardOn     = flag.Bool("guard", true, "numerical health sentinel with automatic rollback to the newest valid checkpoint generation on divergence")
+		stepTimeout = flag.Duration("step-timeout", 0, "fleet step watchdog: abort and reconcile a rank stuck longer than this (0 = off; fleet backend only)")
+		degraded503 = flag.Bool("degraded-503", false, "GET /healthz answers 503 while the guard reports a degraded state")
 		gateOn      = flag.Bool("gate", true, "ALKPU-style uncertainty gating of ingested frames")
 		gateThresh  = flag.Float64("gate-threshold", 0.5, "gate threshold (fraction of the EMA score)")
 		trainIdle   = flag.Bool("train-idle", false, "keep training on the replay buffer while no frames arrive")
@@ -84,6 +90,7 @@ func main() {
 		traceBuf    = flag.Int("trace-buf", 128, "step traces retained for GET /v1/trace")
 
 		seed    = flag.Int64("seed", 1, "random seed")
+		chaos   = flag.Bool("chaos", false, "with -smoke: poison the weights mid-run and require the guard to roll back automatically while predictions keep answering")
 		smoke   = flag.Bool("smoke", false, "self-test: random port, MD frames, predicts, /metrics scrape, graceful shutdown, kill→restart resume (with -replicas N>1: fleet kill/revive + drift checks)")
 		smokeTr = flag.Bool("smoke-transport", false, "2-process TCP ring self-test: spawn a peer process, run deterministic allreduces over real sockets, compare checksums bitwise, and exit")
 	)
@@ -129,9 +136,9 @@ func main() {
 				// company even when -replicas was left at 1.
 				n = 3
 			}
-			err = runFleetSmoke(*system, *seed, n, shard, *transport, *pshardOn)
+			err = runFleetSmoke(*system, *seed, n, shard, *transport, *pshardOn, *chaos)
 		} else {
-			err = runSmoke(*system, *seed)
+			err = runSmoke(*system, *seed, *chaos)
 		}
 		if err != nil {
 			log.Fatalf("serve: SMOKE FAILED: %v", err)
@@ -162,6 +169,9 @@ func main() {
 			SnapshotEvery:   *snapEvery,
 			CheckpointPath:  *ckptPath,
 			CheckpointEvery: *ckptEvery,
+			CheckpointKeep:  *ckptKeep,
+			Guard:           guard.SentinelConfig{Enabled: *guardOn},
+			StepTimeout:     *stepTimeout,
 			Gate:            gateConfig(*gateOn, *gateThresh),
 			TrainIdle:       *trainIdle,
 			Seed:            *seed,
@@ -170,7 +180,7 @@ func main() {
 			Metrics:         fleet.NewMetrics(reg),
 			Trace:           tracer,
 		}
-		fl, err := buildFleet(*system, *bootstrap, *seed, *resume, *ckptPath, fcfg)
+		fl, err := buildFleet(*system, *bootstrap, *seed, *resume, *ckptPath, *ckptKeep, fcfg)
 		if err != nil {
 			log.Fatalf("serve: %v", err)
 		}
@@ -186,13 +196,15 @@ func main() {
 			SnapshotEvery:   *snapEvery,
 			CheckpointPath:  *ckptPath,
 			CheckpointEvery: *ckptEvery,
+			CheckpointKeep:  *ckptKeep,
+			Guard:           guard.SentinelConfig{Enabled: *guardOn},
 			Gate:            gateConfig(*gateOn, *gateThresh),
 			TrainIdle:       *trainIdle,
 			Seed:            *seed,
 			Metrics:         online.NewMetrics(reg),
 			Trace:           tracer,
 		}
-		tr, err := buildTrainer(*system, *bootstrap, *seed, *resume, *ckptPath, tcfg)
+		tr, err := buildTrainer(*system, *bootstrap, *seed, *resume, *ckptPath, *ckptKeep, tcfg)
 		if err != nil {
 			log.Fatalf("serve: %v", err)
 		}
@@ -200,7 +212,7 @@ func main() {
 		be = tr
 	}
 
-	srv := serve.New(be, serve.Config{Addr: *addr, Metrics: reg, Trace: tracer, EnablePprof: *pprofOn})
+	srv := serve.New(be, serve.Config{Addr: *addr, Metrics: reg, Trace: tracer, EnablePprof: *pprofOn, Degraded503: *degraded503})
 	if err := srv.Start(); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
@@ -323,24 +335,29 @@ func gateConfig(on bool, threshold float64) online.GateConfig {
 	return g
 }
 
-// buildTrainer resumes from the checkpoint when asked (and present), else
-// bootstraps a fresh model from a small generated dataset.
-func buildTrainer(system string, bootstrap int, seed int64, resume bool, ckptPath string, tcfg online.TrainerConfig) (*online.Trainer, error) {
+// buildTrainer resumes from the checkpoint when asked (and present) — the
+// newest valid ring generation, quarantining corrupt ones — else bootstraps
+// a fresh model from a small generated dataset.
+func buildTrainer(system string, bootstrap int, seed int64, resume bool, ckptPath string, ckptKeep int, tcfg online.TrainerConfig) (*online.Trainer, error) {
 	dev := device.New("gpu0", device.A100())
 	if resume && ckptPath != "" {
-		if _, err := os.Stat(ckptPath); err == nil {
-			ck, err := online.LoadCheckpoint(ckptPath)
-			if err != nil {
-				return nil, err
-			}
+		ck, seq, quarantined, err := online.LoadNewestCheckpoint(ckptPath, ckptKeep)
+		for _, q := range quarantined {
+			log.Printf("quarantined corrupt checkpoint generation: %s.corrupt", q)
+		}
+		switch {
+		case errors.Is(err, guard.ErrNoCheckpoint) || os.IsNotExist(err):
+			log.Printf("no checkpoint at %s, bootstrapping fresh", ckptPath)
+		case err != nil:
+			return nil, err
+		default:
 			tr, err := online.ResumeTrainer(ck, dev, tcfg)
 			if err != nil {
 				return nil, err
 			}
-			log.Printf("resumed from %s: step %d, λ=%.6f", ckptPath, tr.Stats().Steps, tr.Stats().Lambda)
+			log.Printf("resumed from %s (generation %d): step %d, λ=%.6f", ckptPath, seq, tr.Stats().Steps, tr.Stats().Lambda)
 			return tr, nil
 		}
-		log.Printf("no checkpoint at %s, bootstrapping fresh", ckptPath)
 	}
 	ds, m, opt, err := bootstrapModel(system, bootstrap, seed, dev)
 	if err != nil {
@@ -392,26 +409,31 @@ func bootstrapModel(system string, bootstrap int, seed int64, dev *device.Device
 	return ds, m, opt, nil
 }
 
-// buildFleet resumes a fleet from its checkpoint when asked (and present),
-// else bootstraps a fresh model and replicates it across fcfg.Replicas
-// replicas, seeding the sharded stream with the bootstrap frames.
-func buildFleet(system string, bootstrap int, seed int64, resume bool, ckptPath string, fcfg fleet.Config) (*fleet.Fleet, error) {
+// buildFleet resumes a fleet from its checkpoint when asked (and present)
+// — the newest valid ring generation, quarantining corrupt ones — else
+// bootstraps a fresh model and replicates it across fcfg.Replicas replicas,
+// seeding the sharded stream with the bootstrap frames.
+func buildFleet(system string, bootstrap int, seed int64, resume bool, ckptPath string, ckptKeep int, fcfg fleet.Config) (*fleet.Fleet, error) {
 	if resume && ckptPath != "" {
-		if _, err := os.Stat(ckptPath); err == nil {
-			ck, err := fleet.LoadCheckpoint(ckptPath)
-			if err != nil {
-				return nil, err
-			}
+		ck, seq, quarantined, err := fleet.LoadNewestCheckpoint(ckptPath, ckptKeep)
+		for _, q := range quarantined {
+			log.Printf("quarantined corrupt checkpoint generation: %s.corrupt", q)
+		}
+		switch {
+		case errors.Is(err, guard.ErrNoCheckpoint) || os.IsNotExist(err):
+			log.Printf("no checkpoint at %s, bootstrapping fresh", ckptPath)
+		case err != nil:
+			return nil, err
+		default:
 			fl, err := fleet.Resume(ck, fcfg)
 			if err != nil {
 				return nil, err
 			}
 			st := fl.Stats()
-			log.Printf("resumed fleet from %s: %d replicas, step %d, λ=%.6f",
-				ckptPath, fl.Replicas(), st.Steps, st.Lambda)
+			log.Printf("resumed fleet from %s (generation %d): %d replicas, step %d, λ=%.6f",
+				ckptPath, seq, fl.Replicas(), st.Steps, st.Lambda)
 			return fl, nil
 		}
-		log.Printf("no checkpoint at %s, bootstrapping fresh", ckptPath)
 	}
 	ds, m, opt, err := bootstrapModel(system, bootstrap, seed, device.New("gpu0", device.A100()))
 	if err != nil {
@@ -557,7 +579,10 @@ func postJSON(client *http.Client, url string, req, resp any) error {
 // runSmoke is the CI self-test: boot on a random port, stream MD frames,
 // check every endpoint, shut down gracefully, then resume from the final
 // checkpoint and verify the λ schedule position and step counter survived.
-func runSmoke(system string, seed int64) error {
+// With chaos, a NaN is poisoned into the weights mid-run and the guard must
+// roll the trainer back to the newest ring generation automatically, with
+// predictions answering finitely throughout.
+func runSmoke(system string, seed int64, chaos bool) error {
 	dir, err := os.MkdirTemp("", "fekf-smoke-")
 	if err != nil {
 		return err
@@ -569,11 +594,15 @@ func runSmoke(system string, seed int64) error {
 	tracer := obs.NewTracer(64)
 	tcfg := online.TrainerConfig{
 		BatchSize: 4, QueueSize: 64, WindowSize: 64, ReservoirSize: 64,
-		SnapshotEvery: 2, CheckpointPath: ckpt, CheckpointEvery: 4,
-		Gate: gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
+		SnapshotEvery: 2, CheckpointPath: ckpt, CheckpointEvery: 4, CheckpointKeep: 3,
+		Guard: guard.SentinelConfig{Enabled: true},
+		Gate:  gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
 		Metrics: online.NewMetrics(reg), Trace: tracer,
 	}
-	tr, err := buildTrainer(system, 8, seed, false, "", tcfg)
+	if chaos {
+		tcfg.Chaos = guard.ChaosConfig{PoisonStep: 6}
+	}
+	tr, err := buildTrainer(system, 8, seed, false, "", 0, tcfg)
 	if err != nil {
 		return err
 	}
@@ -619,6 +648,34 @@ func runSmoke(system string, seed int64) error {
 	log.Printf("smoke: %d steps, λ=%.6f, %d accepted, %d gated out, %d predict batches",
 		st.Steps, st.Lambda, st.FramesAccepted, st.FramesGatedOut, st.PredictBatches)
 
+	if chaos {
+		// The poison lands at step 6; the sentinel must catch it, roll back
+		// to the newest ring generation and train on — with /v1/predict
+		// still answering finite physics off the clean snapshot.
+		for {
+			if err := getJSON(client, base+"/v1/stats", &st); err != nil {
+				return err
+			}
+			if st.Guard != nil && st.Guard.Rollbacks >= 1 && st.Steps > st.Guard.RollbackStep {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("chaos poison never rolled back: %+v", st.Guard)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		if err := runMDClient(srv.Addr(), system, seed+1, 2, 0, make(chan struct{})); err != nil {
+			return fmt.Errorf("predict after rollback: %w", err)
+		}
+		if _, err := requireMetrics(client, base,
+			"fekf_guard_divergence_total", "fekf_guard_rollback_total",
+			"fekf_checkpoint_ring_generation"); err != nil {
+			return err
+		}
+		log.Printf("chaos smoke: divergence at step %d rolled back to generation %d (step %d), training resumed",
+			st.Guard.LastStep, st.Guard.RollbackGeneration, st.Guard.RollbackStep)
+	}
+
 	// the Prometheus exposition carries the core trainer/serving families
 	samples, err := requireMetrics(client, base,
 		"fekf_train_step_seconds_count", "fekf_train_step_seconds_bucket",
@@ -656,8 +713,9 @@ func runSmoke(system string, seed int64) error {
 	}
 	stopped := tr.Stats()
 
-	// kill→restart: resume and verify the schedule position survived
-	ck, err := online.LoadCheckpoint(ckpt)
+	// kill→restart: resume from the newest ring generation and verify the
+	// schedule position survived
+	ck, _, _, err := online.LoadNewestCheckpoint(ckpt, 3)
 	if err != nil {
 		return err
 	}
@@ -682,8 +740,10 @@ func runSmoke(system string, seed int64) error {
 // checkpoint.  With pshard the fleet shards the covariance instead of
 // replicating it, and the smoke additionally requires the /v1/stats pshard
 // row to tile the full P across the ranks and the per-rank resident-bytes
-// gauges to be exported.
-func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPolicy, transport string, pshard bool) error {
+// gauges to be exported.  With chaos the conductor's weights are poisoned
+// mid-run and the guard must auto-rollback the whole fleet to the newest
+// ring generation while predictions keep answering.
+func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPolicy, transport string, pshard bool, chaos bool) error {
 	dir, err := os.MkdirTemp("", "fekf-fleet-smoke-")
 	if err != nil {
 		return err
@@ -696,12 +756,19 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	fcfg := fleet.Config{
 		Replicas: replicas, ShardPolicy: shard, PShard: pshard,
 		BatchSize: 2, MinFrames: 2, QueueSize: 64, WindowSize: 64, ReservoirSize: 64,
-		SnapshotEvery: 1, CheckpointPath: ckpt, CheckpointEvery: 4,
-		Gate: gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
+		SnapshotEvery: 1, CheckpointPath: ckpt, CheckpointEvery: 4, CheckpointKeep: 3,
+		Guard: guard.SentinelConfig{Enabled: true},
+		// Generous watchdog: it arms on every step but must never fire on a
+		// loaded CI machine unless a rank genuinely wedges.
+		StepTimeout: 60 * time.Second,
+		Gate:        gateConfig(true, 0.5), TrainIdle: true, Seed: seed,
 		Transport: transport,
 		Metrics:   fleet.NewMetrics(reg), Trace: tracer,
 	}
-	fl, err := buildFleet(system, 8, seed, false, "", fcfg)
+	if chaos {
+		fcfg.Chaos = guard.ChaosConfig{PoisonStep: 6}
+	}
+	fl, err := buildFleet(system, 8, seed, false, "", 0, fcfg)
 	if err != nil {
 		return err
 	}
@@ -834,6 +901,31 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 	log.Printf("fleet smoke: /metrics exposed %d series; /v1/trace holds %d timelines with backward/allreduce/gain/drain spans",
 		len(samples), len(tresp.Steps))
 
+	if chaos {
+		// The conductor's poison lands at step 6; the guard must roll every
+		// replica back to the newest ring generation and keep the fleet in
+		// lockstep with zero drift afterwards.
+		st, err = waitStats(func(st serve.StatsResponse) bool {
+			return st.Guard != nil && st.Guard.Rollbacks >= 1 && st.Steps > st.Guard.RollbackStep
+		}, "chaos rollback")
+		if err != nil {
+			return err
+		}
+		if st.Fleet.WeightDrift != 0 || st.Fleet.PDrift != 0 {
+			return fmt.Errorf("fleet drifted after rollback: %g / %g", st.Fleet.WeightDrift, st.Fleet.PDrift)
+		}
+		if err := runMDClient(srv.Addr(), system, seed+1, 2, 0, make(chan struct{})); err != nil {
+			return fmt.Errorf("predict after rollback: %w", err)
+		}
+		if _, err := requireMetrics(client, base,
+			"fekf_guard_divergence_total", "fekf_guard_rollback_total",
+			"fekf_checkpoint_ring_generation"); err != nil {
+			return err
+		}
+		log.Printf("fleet chaos smoke: divergence at step %d rolled back to generation %d (step %d), drift 0/0",
+			st.Guard.LastStep, st.Guard.RollbackGeneration, st.Guard.RollbackStep)
+	}
+
 	// kill a replica: predicts must keep answering, survivors must keep
 	// stepping with zero drift
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -889,7 +981,7 @@ func runFleetSmoke(system string, seed int64, replicas int, shard fleet.ShardPol
 
 	// kill→restart: the resumed fleet holds the schedule position and the
 	// bitwise-consistency invariant
-	ck, err := fleet.LoadCheckpoint(ckpt)
+	ck, _, _, err := fleet.LoadNewestCheckpoint(ckpt, 3)
 	if err != nil {
 		return err
 	}
@@ -933,7 +1025,7 @@ func runAutoscaleSmoke(system string, seed int64, transport string) error {
 		},
 		Metrics: fleet.NewMetrics(reg), Trace: tracer,
 	}
-	fl, err := buildFleet(system, 8, seed, false, "", fcfg)
+	fl, err := buildFleet(system, 8, seed, false, "", 0, fcfg)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
+	"fekf/internal/guard"
 	"fekf/internal/md"
 	"fekf/internal/online"
 	"fekf/internal/optimize"
@@ -127,12 +129,26 @@ func (f *Fleet) buildCheckpoint() (*Checkpoint, error) {
 }
 
 // WriteCheckpoint persists the fleet state crash-safely (temp file, fsync,
-// atomic rename).  Conductor goroutine only; external callers use
+// atomic rename): into the checksummed retention ring when one is
+// configured for path (see Config.CheckpointKeep), as a legacy plain gob
+// file otherwise.  Conductor goroutine only; external callers use
 // CheckpointNow or Stop.
 func (f *Fleet) WriteCheckpoint(path string) error {
 	ck, err := f.buildCheckpoint()
 	if err != nil {
 		return err
+	}
+	if f.ckRing != nil && path == f.cfg.CheckpointPath {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+			return fmt.Errorf("fleet: encode checkpoint %s: %w", path, err)
+		}
+		seq, err := f.ckRing.Write(buf.Bytes())
+		if err != nil {
+			return err
+		}
+		f.health.NoteCheckpoint(seq, f.clock.Now())
+		return nil
 	}
 	return online.WriteGobAtomic(path, ck)
 }
@@ -149,18 +165,52 @@ func (f *Fleet) writeCheckpointCounted(path string) error {
 	return err
 }
 
-// LoadCheckpoint reads a checkpoint written by WriteCheckpoint.
+// LoadCheckpoint reads a checkpoint written by WriteCheckpoint — either a
+// legacy plain gob file or a checksummed ring generation (see
+// guard.EncodeFrame).  A framed file that is torn or bit-flipped fails
+// with an error wrapping guard.ErrCorrupt rather than an opaque gob decode
+// error.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	fh, err := os.Open(path)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer fh.Close()
+	payload := b
+	if _, p, err := guard.DecodeFrame(bytes.NewReader(b)); err == nil {
+		payload = p
+	} else if !errors.Is(err, guard.ErrNotFramed) {
+		return nil, fmt.Errorf("fleet: checkpoint %s: %w", path, err)
+	}
 	var ck Checkpoint
-	if err := gob.NewDecoder(fh).Decode(&ck); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
 		return nil, fmt.Errorf("fleet: decode checkpoint %s: %w", path, err)
 	}
 	return &ck, nil
+}
+
+// LoadNewestCheckpoint resolves the newest valid generation of the fleet
+// checkpoint ring around path (see Config.CheckpointKeep): corrupt or torn
+// generation files are quarantined (their pre-quarantine paths are
+// returned) and the next older generation is tried; with no generation
+// files at all it falls back to a legacy single-file checkpoint at path
+// itself.  The returned sequence number is 0 for the legacy fallback.
+func LoadNewestCheckpoint(path string, keep int) (*Checkpoint, uint64, []string, error) {
+	ring := guard.NewRing(path, keep)
+	seq, payload, quarantined, err := ring.LoadNewest()
+	if err != nil {
+		if errors.Is(err, guard.ErrNoCheckpoint) {
+			if _, statErr := os.Stat(path); statErr == nil {
+				ck, lerr := LoadCheckpoint(path)
+				return ck, 0, quarantined, lerr
+			}
+		}
+		return nil, 0, quarantined, err
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, 0, quarantined, fmt.Errorf("fleet: decode checkpoint generation %d: %w", seq, err)
+	}
+	return &ck, seq, quarantined, nil
 }
 
 // Resume reconstructs a fleet from a checkpoint: every replica gets the

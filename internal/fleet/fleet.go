@@ -13,6 +13,7 @@ import (
 	"fekf/internal/cluster/tcptransport"
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
+	"fekf/internal/guard"
 	"fekf/internal/md"
 	"fekf/internal/obs"
 	"fekf/internal/online"
@@ -59,6 +60,27 @@ type Config struct {
 	// fleet checkpoint every CheckpointEvery steps and a final one at Stop.
 	CheckpointPath  string
 	CheckpointEvery int
+	// CheckpointKeep > 0 turns CheckpointPath into a checksummed retention
+	// ring: each write lands as a CRC32-C framed generation
+	// (ckpt.000017.gob style) and the last CheckpointKeep generations are
+	// retained, giving the divergence guard healthy states to roll the
+	// whole fleet back to.  0 keeps the legacy single-file behaviour.
+	CheckpointKeep int
+	// Guard, when Enabled, runs the numerical health sentinel on the
+	// conductor after every lockstep step (λ bounds, sampled weight /
+	// P-diagonal finiteness and blow-up thresholds); a divergence rolls
+	// every replica — and the covariance shards under PShard — back to the
+	// newest valid checkpoint generation bitwise.
+	Guard guard.SentinelConfig
+	// StepTimeout, when > 0, arms a watchdog on every collective step: if
+	// the step has not completed within the deadline (measured on Clock),
+	// the conductor aborts the stuck rank's transport, which maps the hang
+	// onto the existing ring-broken → replica-death → reconcile path.
+	StepTimeout time.Duration
+	// Chaos deterministically injects faults (weight poison at step k, a
+	// rank hung at step k) to drive the guard's recovery paths under test.
+	// A configured hang requires StepTimeout > 0.
+	Chaos guard.ChaosConfig
 	// Gate configures per-replica uncertainty gating.
 	Gate online.GateConfig
 	// TrainIdle keeps stepping on the replay buffers while no new frames
@@ -179,12 +201,28 @@ type Fleet struct {
 
 	rr atomic.Uint64 // round-robin shard cursor
 
+	// self-healing state: the checksummed checkpoint ring (nil without
+	// CheckpointKeep), the numerical sentinel (nil unless Guard.Enabled),
+	// the always-present health ledger, and the conductor-owned one-shot
+	// flags for the chaos injectors.
+	ckRing    *guard.Ring
+	sentinel  *guard.Sentinel
+	health    *guard.Health
+	poisoned  bool // conductor-owned: chaos weight poison fired
+	hangFired bool // conductor-owned: chaos rank hang fired
+
 	steps      atomic.Int64
 	lambdaBits atomic.Uint64
 	wDriftBits atomic.Uint64
 	pDriftBits atomic.Uint64
 	ckWrites   atomic.Int64
 	lastErr    atomic.Pointer[string]
+
+	// forceGroups is the optimizer's force-group count, cached at build
+	// time: it is invariant for the fleet's lifetime, and reading it off a
+	// live replica's optimizer would race with a guard rollback swapping
+	// that optimizer out (Stats runs from any goroutine).
+	forceGroups int
 
 	// failStep, when non-nil, injects a per-replica failure into a step
 	// (after the environment build); the failure-path tests use it to
@@ -213,6 +251,9 @@ func New(m *deepmd.Model, opt *optimize.FEKF, proto *dataset.Dataset, cfg Config
 		return nil, fmt.Errorf("fleet: prototype has %d species, model wants %d", len(proto.Species), m.Cfg.NumSpecies)
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Chaos.HangStep > 0 && cfg.StepTimeout <= 0 {
+		return nil, fmt.Errorf("fleet: a chaos hang needs StepTimeout > 0 to be recoverable")
+	}
 	f := &Fleet{
 		cfg:     cfg,
 		system:  proto.System,
@@ -253,11 +294,19 @@ func New(m *deepmd.Model, opt *optimize.FEKF, proto *dataset.Dataset, cfg Config
 		r.alive.Store(i < live)
 		f.reps = append(f.reps, r)
 	}
+	if cfg.CheckpointPath != "" && cfg.CheckpointKeep > 0 {
+		f.ckRing = guard.NewRing(cfg.CheckpointPath, cfg.CheckpointKeep)
+	}
+	if cfg.Guard.Enabled {
+		f.sentinel = guard.NewSentinel(cfg.Guard)
+	}
+	f.health = guard.NewHealth(0)
 	f.router = &Router{f: f}
 	if proto.Len() > 0 {
 		f.naPer.Store(int64(proto.Snapshots[0].NumAtoms()))
 	}
 	f.lambdaBits.Store(math.Float64bits(f.reps[0].opt.Lambda()))
+	f.forceGroups = f.reps[0].opt.ForceGroups
 	if cfg.PShard {
 		if err := f.initShards(m, opt, f.liveIDs()); err != nil {
 			return nil, err
@@ -623,11 +672,25 @@ func (f *Fleet) stepLatency() time.Duration {
 }
 
 // drainAll moves every queued frame of every live replica through its gate
-// into its replay buffer, returning the number of frames drained.
+// into its replay buffer, returning the number of frames drained.  Dead
+// replicas' queues are redistributed to the live shards: a frame can race
+// into a replica's queue around its death (shardOf reads liveness before
+// Push), and without redistribution it would strand there — blocking its
+// producer on a full queue — until Revive.
 func (f *Fleet) drainAll() int {
 	got := 0
 	for _, r := range f.reps {
 		if !r.alive.Load() {
+			for {
+				s, ok := r.queue.Pop(0)
+				if !ok {
+					break
+				}
+				if tid := f.shardOf(&s); tid >= 0 {
+					f.admit(f.reps[tid], s)
+					got++
+				}
+			}
 			continue
 		}
 		for {
@@ -841,18 +904,31 @@ func (f *Fleet) step() {
 	stepNo := f.steps.Load()
 	t0 := f.clock.Now()
 
+	// Chaos hang: at the configured step, one rank parks before entering
+	// the collective until the watchdog fires and releases it.  One-shot,
+	// so the re-run after recovery proceeds clean.
+	var hangCh chan struct{}
+	hangID := -1
+	if c := f.cfg.Chaos; c.HangStep > 0 && !f.hangFired && stepNo+1 == c.HangStep {
+		f.hangFired = true
+		hangID = c.HangReplica
+		hangCh = make(chan struct{})
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, len(live))
 	infos := make([]optimize.StepInfo, len(live))
+	// progress per rank: 0 = pre-collective, 1 = in the collective,
+	// 2 = done.  The watchdog attributes the stall to the least-advanced
+	// rank: one wedged before the collective is the cause, the ranks
+	// blocked inside it are its victims.
+	progress := make([]atomic.Int32, len(live))
 	for k, id := range live {
 		wg.Add(1)
 		go func(rank, id int) {
 			defer wg.Done()
 			r := f.reps[id]
-			var inject func() error
-			if f.failStep != nil {
-				inject = func() error { return f.failStep(id, stepNo) }
-			}
+			inject := f.buildInject(id, stepNo, hangID, hangCh, &progress[rank])
 			if f.cfg.PShard {
 				infos[rank], errs[rank] = pshard.RankStep(ring, rank, r.model, f.pstates[id], params,
 					shares[rank].ds, shares[rank].idx, inject)
@@ -860,9 +936,10 @@ func (f *Fleet) step() {
 				infos[rank], errs[rank] = cluster.RankStep(ring, rank, r.model, r.opt.State(), params,
 					shares[rank].ds, shares[rank].idx, inject)
 			}
+			progress[rank].Store(2)
 		}(k, id)
 	}
-	wg.Wait()
+	f.awaitStep(&wg, ring, live, stepNo, progress, hangCh)
 
 	n := f.steps.Add(1)
 	f.storeLambda(live)
@@ -883,11 +960,22 @@ func (f *Fleet) step() {
 			f.storeLambda(live)
 		}
 	}
+	f.maybePoison(n, live)
 	f.updateInvariants(live)
 	lat := f.clock.Now().Sub(t0)
 	f.noteStepLatency(lat)
 	if m := f.cfg.Metrics; m != nil {
 		m.StepSeconds.Observe(lat.Seconds())
+	}
+	if ev := f.checkHealth(n, live, infos); ev != nil {
+		// Divergence: roll the whole fleet back to the newest valid
+		// checkpoint generation before anything downstream (snapshot
+		// publish, checkpoint write, OnStep) can observe or persist the
+		// poisoned state.
+		f.handleDivergence(ev, rec)
+		rec.End(n)
+		f.rec = nil
+		return
 	}
 	if f.cfg.OnStep != nil {
 		f.cfg.OnStep(n, infos[0])
@@ -1077,12 +1165,11 @@ func (f *Fleet) FleetStats() Stats {
 // Stats aggregates the fleet into the flat trainer-stats shape shared with
 // the single-trainer backend; safe from any goroutine.
 func (f *Fleet) Stats() online.Stats {
-	forceGroups := f.reps[0].opt.ForceGroups
 	st := online.Stats{
 		System:        f.system,
 		Steps:         f.steps.Load(),
 		Lambda:        math.Float64frombits(f.lambdaBits.Load()),
-		KalmanUpdates: f.steps.Load() * int64(1+forceGroups),
+		KalmanUpdates: f.steps.Load() * int64(1+f.forceGroups),
 		Checkpoints:   f.ckWrites.Load(),
 	}
 	var emaSum float64
@@ -1123,6 +1210,9 @@ func (f *Fleet) Stats() online.Stats {
 	}
 	if e := f.lastErr.Load(); e != nil {
 		st.LastError = *e
+	}
+	if f.ckRing != nil || f.sentinel != nil || f.cfg.StepTimeout > 0 {
+		st.Guard = f.health.Status(f.clock.Now())
 	}
 	return st
 }

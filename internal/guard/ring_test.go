@@ -1,0 +1,227 @@
+package guard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	seq, got, err := DecodeFrame(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: seq=%d payload=%q", seq, got)
+	}
+}
+
+func TestFrameRejectsEveryByteFlip(t *testing.T) {
+	payload := []byte("checkpoint payload bytes")
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0xFF
+		_, _, err := DecodeFrame(bytes.NewReader(bad))
+		if i < 8 {
+			// magic flips read as a foreign (legacy) file
+			if !errors.Is(err, ErrNotFramed) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip at magic byte %d: err = %v", i, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestFrameRejectsTruncation(t *testing.T) {
+	payload := []byte("some gob stream standing in")
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{len(raw) - 1, len(raw) - 5, frameHeaderLen, 20, 8, 3} {
+		_, _, err := DecodeFrame(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	// Trailing garbage is also a corruption, not a longer payload.
+	_, _, err := DecodeFrame(bytes.NewReader(append(append([]byte(nil), raw...), 0xAB)))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRingWriteRetentionAndNaming(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ckpt.gob")
+	r := NewRing(base, 3)
+	for i := 1; i <= 5; i++ {
+		seq, err := r.Write([]byte(fmt.Sprintf("gen-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("write %d: seq = %d", i, seq)
+		}
+	}
+	if p := r.GenPath(17); filepath.Base(p) != "ckpt.000017.gob" {
+		t.Fatalf("generation naming: %s", p)
+	}
+	gens, err := r.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0].Seq != 3 || gens[2].Seq != 5 {
+		t.Fatalf("retention: %+v", gens)
+	}
+	seq, payload, quarantined, err := r.LoadNewest()
+	if err != nil || len(quarantined) != 0 {
+		t.Fatalf("load: seq=%d q=%v err=%v", seq, quarantined, err)
+	}
+	if seq != 5 || string(payload) != "gen-5" {
+		t.Fatalf("newest: seq=%d payload=%q", seq, payload)
+	}
+}
+
+func TestRingResumesSequenceAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ckpt.gob")
+	r1 := NewRing(base, 4)
+	for i := 0; i < 3; i++ {
+		if _, err := r1.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh ring over the same directory continues the sequence — the
+	// monotone generation number survives process restarts.
+	r2 := NewRing(base, 4)
+	seq, err := r2.Write([]byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("resumed seq = %d, want 4", seq)
+	}
+}
+
+func TestRingQuarantinesCorruptAndFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ckpt.gob")
+	r := NewRing(base, 4)
+	for i := 1; i <= 3; i++ {
+		if _, err := r.Write([]byte(fmt.Sprintf("gen-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bit-flip the newest generation's payload and truncate the second.
+	if err := FlipByte(r.GenPath(3), -2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Truncate(r.GenPath(2), -4); err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, quarantined, err := r.LoadNewest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || string(payload) != "gen-1" {
+		t.Fatalf("fallback: seq=%d payload=%q", seq, payload)
+	}
+	if len(quarantined) != 2 {
+		t.Fatalf("quarantined = %v, want the two corrupt generations", quarantined)
+	}
+	for _, q := range quarantined {
+		if _, err := os.Stat(q); !os.IsNotExist(err) {
+			t.Fatalf("%s still present after quarantine", q)
+		}
+		if _, err := os.Stat(q + ".corrupt"); err != nil {
+			t.Fatalf("%s.corrupt missing: %v", q, err)
+		}
+	}
+	// The quarantined files never come back into the scan.
+	gens, err := r.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0].Seq != 1 {
+		t.Fatalf("post-quarantine generations: %+v", gens)
+	}
+}
+
+func TestRingLoadNewestEmpty(t *testing.T) {
+	r := NewRing(filepath.Join(t.TempDir(), "ckpt.gob"), 3)
+	_, _, _, err := r.LoadNewest()
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+	// All generations corrupt → ErrNoCheckpoint with quarantines.
+	if _, err := r.Write([]byte("only")); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipByte(r.GenPath(1), frameHeaderLen); err != nil {
+		t.Fatal(err)
+	}
+	_, _, quarantined, err := r.LoadNewest()
+	if !errors.Is(err, ErrNoCheckpoint) || len(quarantined) != 1 {
+		t.Fatalf("err=%v quarantined=%v", err, quarantined)
+	}
+}
+
+func TestRingIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ckpt.gob")
+	for _, name := range []string{"ckpt.gob", "ckpt.notanum.gob", "other.000001.gob", "ckpt.000001.gob.corrupt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewRing(base, 3)
+	gens, err := r.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 0 {
+		t.Fatalf("foreign files matched: %+v", gens)
+	}
+}
+
+func TestFlipByteAndTruncateBounds(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(p, []byte("abcd"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipByte(p, 99); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("out-of-range flip: %v", err)
+	}
+	if err := FlipByte(p, -1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(p)
+	if b[3] != 'd'^0xFF {
+		t.Fatalf("flip from end: % x", b)
+	}
+	if err := Truncate(p, -2); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(p); len(b) != 2 {
+		t.Fatalf("truncate from end: %d bytes", len(b))
+	}
+}

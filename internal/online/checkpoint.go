@@ -3,6 +3,7 @@ package online
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
+	"fekf/internal/guard"
 	"fekf/internal/md"
 	"fekf/internal/optimize"
 )
@@ -69,18 +71,53 @@ func (t *Trainer) WriteCheckpoint(path string) error {
 	return WriteGobAtomic(path, ck)
 }
 
-// LoadCheckpoint reads a checkpoint written by WriteCheckpoint.
+// LoadCheckpoint reads a checkpoint written by WriteCheckpoint — either a
+// legacy plain gob file or a checksummed ring generation (see
+// guard.EncodeFrame).  A framed file that is torn or bit-flipped fails
+// with an error wrapping guard.ErrCorrupt rather than an opaque gob
+// decode error.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	f, err := os.Open(path)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	payload := b
+	if _, p, err := guard.DecodeFrame(bytes.NewReader(b)); err == nil {
+		payload = p
+	} else if !errors.Is(err, guard.ErrNotFramed) {
+		return nil, fmt.Errorf("online: checkpoint %s: %w", path, err)
+	}
 	var ck Checkpoint
-	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
 		return nil, fmt.Errorf("online: decode checkpoint %s: %w", path, err)
 	}
 	return &ck, nil
+}
+
+// LoadNewestCheckpoint resolves the newest valid generation of the
+// checkpoint ring around path (see TrainerConfig.CheckpointKeep):
+// corrupt or torn generation files are quarantined (their pre-quarantine
+// paths are returned) and the next older generation is tried; with no
+// generation files at all it falls back to a legacy single-file
+// checkpoint at path itself.  The returned sequence number is 0 for the
+// legacy fallback.
+func LoadNewestCheckpoint(path string, keep int) (*Checkpoint, uint64, []string, error) {
+	ring := guard.NewRing(path, keep)
+	seq, payload, quarantined, err := ring.LoadNewest()
+	if err != nil {
+		if errors.Is(err, guard.ErrNoCheckpoint) {
+			if _, statErr := os.Stat(path); statErr == nil {
+				ck, lerr := LoadCheckpoint(path)
+				return ck, 0, quarantined, lerr
+			}
+		}
+		return nil, 0, quarantined, err
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, 0, quarantined, fmt.Errorf("online: decode checkpoint generation %d: %w", seq, err)
+	}
+	return &ck, seq, quarantined, nil
 }
 
 // ResumeTrainer reconstructs a trainer from a checkpoint: model weights,
@@ -159,5 +196,7 @@ func WriteGobAtomic(path string, v any) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	// The rename is durable only once the directory entry is: fsync the
+	// parent so a power loss cannot forget the just-renamed checkpoint.
+	return guard.SyncDir(filepath.Dir(path))
 }

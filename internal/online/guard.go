@@ -1,0 +1,170 @@
+package online
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"time"
+
+	"fekf/internal/deepmd"
+	"fekf/internal/guard"
+	"fekf/internal/obs"
+	"fekf/internal/optimize"
+	"fekf/internal/train"
+)
+
+// This file is the trainer half of the self-healing layer: ring-aware
+// checkpoint writes, the post-step sentinel check, and the in-place
+// rollback that restores the newest valid generation after a divergence.
+// Everything here runs on the trainer goroutine (or after the loop has
+// exited) — the same ownership rule as step().
+
+// writeCheckpoint persists the trainer state: into the checksummed
+// retention ring when one is configured for path, as a legacy plain gob
+// file otherwise.
+func (t *Trainer) writeCheckpoint(path string) error {
+	ck, err := t.buildCheckpoint()
+	if err != nil {
+		return err
+	}
+	if t.ring != nil && path == t.cfg.CheckpointPath {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+			return fmt.Errorf("online: encode checkpoint %s: %w", path, err)
+		}
+		seq, err := t.ring.Write(buf.Bytes())
+		if err != nil {
+			return err
+		}
+		t.health.NoteCheckpoint(seq, time.Now())
+		return nil
+	}
+	return WriteGobAtomic(path, ck)
+}
+
+// maybePoison applies the configured chaos injection after step n: a
+// non-finite value lands in the weight vector, exactly what a NaN/Inf
+// gradient surviving the Kalman gain would leave behind.
+func (t *Trainer) maybePoison(n int64) {
+	c := t.cfg.Chaos
+	// One-shot: after the rollback rewinds the step counter, the re-run
+	// of step n must see the clean gradient, not the fault again.
+	if t.chaosFired || c.PoisonStep == 0 || n != c.PoisonStep {
+		return
+	}
+	t.chaosFired = true
+	delta := make([]float64, t.model.NumParams())
+	idx := c.PoisonIndex
+	if idx < 0 || idx >= len(delta) {
+		idx = 0
+	}
+	delta[idx] = c.PoisonValue()
+	t.model.Params.AddFlat(delta)
+}
+
+// checkHealth runs the sentinel over the post-step state, returning the
+// divergence event if one of the invariants broke.
+func (t *Trainer) checkHealth(n int64, info optimize.StepInfo) *guard.DivergenceEvent {
+	if t.sentinel == nil {
+		return nil
+	}
+	smp := guard.Sample{
+		Lambda:  t.opt.Lambda(),
+		Weights: t.model.Params.FlattenValues(),
+		PDiag:   t.opt.PDiagonal(),
+		Aux:     []float64{info.EnergyABE, info.ForceABE},
+	}
+	if ev := t.sentinel.Check(n, smp); ev != nil {
+		return ev
+	}
+	t.health.NoteHealthy()
+	return nil
+}
+
+// handleDivergence records a sentinel event and rolls the trainer back to
+// the newest valid checkpoint generation.  A failed rollback (no ring, no
+// valid generation) leaves the event in last_error and the trainer
+// degraded; training continues from the diverged state rather than
+// crashing the loop, so operators can still drain and inspect it.
+func (t *Trainer) handleDivergence(n int64, ev *guard.DivergenceEvent, rec *obs.StepRecorder) {
+	t.health.NoteDivergence(ev)
+	t.setErr(ev)
+	r0 := time.Now()
+	err := t.rollback()
+	rec.Span(-1, "rollback", r0, time.Since(r0))
+	if err != nil {
+		t.setErr(fmt.Errorf("guard: rollback after %v: %w", ev, err))
+	}
+}
+
+// rollback restores the newest valid ring generation in place: model,
+// optimizer (λ, update counter, every P block — bitwise), replay buffer
+// with its RNG position, gate and counters, then republishes a healthy
+// snapshot.  Quarantined generations are counted in the health ledger.
+func (t *Trainer) rollback() error {
+	if t.ring == nil {
+		return fmt.Errorf("online: no checkpoint ring to roll back to (set CheckpointKeep)")
+	}
+	seq, payload, quarantined, err := t.ring.LoadNewest()
+	t.health.NoteQuarantine(len(quarantined))
+	if err != nil {
+		return err
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return fmt.Errorf("online: decode checkpoint generation %d: %w", seq, err)
+	}
+	if err := t.restoreFrom(&ck); err != nil {
+		return err
+	}
+	if t.sentinel != nil {
+		t.sentinel.Reset()
+	}
+	t.health.NoteRollback(seq, ck.Steps)
+	t.health.NoteCheckpoint(seq, time.Now())
+	t.publish()
+	return nil
+}
+
+// restoreFrom rebuilds the training state from a checkpoint in place, the
+// same restoration ResumeTrainer performs on a fresh trainer.  Frames
+// admitted to the replay buffer after the checkpoint was taken are
+// dropped along with the diverged state — the stream replays forward from
+// the restored RNG position exactly as the uninterrupted trainer would
+// have.
+func (t *Trainer) restoreFrom(ck *Checkpoint) error {
+	m, err := deepmd.DecodeModel(bytes.NewReader(ck.Model))
+	if err != nil {
+		return err
+	}
+	m.Dev = t.model.Dev
+	if ck.Opt == nil {
+		return fmt.Errorf("online: checkpoint has no optimizer state")
+	}
+	opt, err := optimize.RestoreFEKF(ck.Opt, m)
+	if err != nil {
+		return err
+	}
+	t.model, t.opt = m, opt
+	t.stepper = train.OptStepper{M: m, Opt: opt}
+	t.naPer.Store(ck.NumAtoms)
+	t.steps.Store(ck.Steps)
+	t.gatedOut.Store(ck.FramesGatedOut)
+	t.accepted.Store(ck.FramesAccepted)
+	t.lambdaBits.Store(math.Float64bits(opt.Lambda()))
+	t.pBytes.Store(opt.PBytes())
+	if ck.Replay != nil {
+		t.replay = RestoreReplay(ck.Replay)
+		t.replayLen.Store(int64(t.replay.Len()))
+		t.replayWin.Store(int64(t.replay.WindowLen()))
+		t.replayRes.Store(int64(t.replay.ReservoirLen()))
+		t.replayCap.Store(int64(ck.Replay.WindowCap + ck.Replay.ResCap))
+		t.seen.Store(t.replay.Seen())
+	}
+	if ck.Gate != nil {
+		t.gate = RestoreGate(ck.Gate, t.cfg.Gate)
+		t.gateEMA.Store(math.Float64bits(t.gate.EMA()))
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"fekf/internal/dataset"
 	"fekf/internal/deepmd"
+	"fekf/internal/guard"
 	"fekf/internal/md"
 	"fekf/internal/obs"
 	"fekf/internal/optimize"
@@ -37,6 +38,20 @@ type TrainerConfig struct {
 	// final one at Stop.
 	CheckpointPath  string
 	CheckpointEvery int
+	// CheckpointKeep > 0 turns CheckpointPath into a checksummed
+	// retention ring: each write lands as a CRC32-C framed generation
+	// (ckpt.000017.gob style) and the last CheckpointKeep generations are
+	// retained, giving the divergence guard healthy states to roll back
+	// to.  0 keeps the legacy single-file behaviour.
+	CheckpointKeep int
+	// Guard, when Enabled, runs the numerical health sentinel after every
+	// step (λ bounds, sampled weight/P-diagonal finiteness and blow-up
+	// thresholds); a divergence triggers an automatic rollback to the
+	// newest valid checkpoint generation.
+	Guard guard.SentinelConfig
+	// Chaos deterministically injects state faults (NaN/Inf weight poison
+	// at a given step) to drive the guard's recovery path under test.
+	Chaos guard.ChaosConfig
 	// Gate configures uncertainty gating of the ingest stream.
 	Gate GateConfig
 	// TrainIdle keeps drawing replay minibatches while no new frames
@@ -118,6 +133,22 @@ type Trainer struct {
 	// feeds).  Owned by the loop goroutine; nil when tracing is off.
 	rec *obs.StepRecorder
 
+	// self-healing state: the checkpoint retention ring (nil in legacy
+	// single-file mode), the post-step health sentinel (nil when
+	// disabled) and the divergence/rollback ledger stats expose.
+	ring     *guard.Ring
+	sentinel *guard.Sentinel
+	health   *guard.Health
+	// chaosFired makes the configured poison injection one-shot, so the
+	// re-run of the poisoned step after rollback proceeds clean.
+	chaosFired bool
+
+	// forceGroups caches the optimizer's force-group count at build time:
+	// it is invariant for the trainer's lifetime, and reading it off t.opt
+	// would race with a guard rollback swapping the optimizer out (Stats
+	// runs from any goroutine).
+	forceGroups int
+
 	snap       atomic.Pointer[ModelSnapshot]
 	steps      atomic.Int64
 	lambdaBits atomic.Uint64
@@ -171,12 +202,20 @@ func NewTrainer(m *deepmd.Model, opt *optimize.FEKF, proto *dataset.Dataset, cfg
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
+	if cfg.CheckpointPath != "" && cfg.CheckpointKeep > 0 {
+		t.ring = guard.NewRing(cfg.CheckpointPath, cfg.CheckpointKeep)
+	}
+	if cfg.Guard.Enabled {
+		t.sentinel = guard.NewSentinel(cfg.Guard)
+	}
+	t.health = guard.NewHealth(0)
 	if proto.Len() > 0 {
 		t.naPer.Store(int64(proto.Snapshots[0].NumAtoms()))
 	}
 	t.replayCap.Store(int64(cfg.WindowSize + cfg.ReservoirSize))
 	t.lambdaBits.Store(math.Float64bits(opt.Lambda()))
 	t.pBytes.Store(opt.PBytes())
+	t.forceGroups = opt.ForceGroups
 	return t, nil
 }
 
@@ -274,7 +313,7 @@ func (t *Trainer) Stop(ctx context.Context) error {
 	// The loop has exited: this goroutine now owns the training state.
 	t.publish()
 	if t.cfg.CheckpointPath != "" {
-		return t.WriteCheckpoint(t.cfg.CheckpointPath)
+		return t.writeCheckpoint(t.cfg.CheckpointPath)
 	}
 	return nil
 }
@@ -410,8 +449,19 @@ func (t *Trainer) step() {
 		return
 	}
 	n := t.steps.Add(1)
+	t.maybePoison(n)
 	t.lambdaBits.Store(math.Float64bits(t.opt.Lambda()))
 	t.pBytes.Store(t.opt.PBytes())
+	if ev := t.checkHealth(n, info); ev != nil {
+		// Divergence: record it and roll back to the newest valid
+		// checkpoint generation before anything downstream (snapshot
+		// publish, checkpoint write, OnStep) can observe or persist the
+		// poisoned state.
+		t.handleDivergence(n, ev, rec)
+		rec.End(n)
+		t.rec = nil
+		return
+	}
 	if t.cfg.OnStep != nil {
 		t.cfg.OnStep(n, info)
 	}
@@ -445,7 +495,7 @@ func (t *Trainer) publish() {
 
 func (t *Trainer) writeCheckpointCounted(path string) error {
 	c0 := time.Now()
-	err := t.WriteCheckpoint(path)
+	err := t.writeCheckpoint(path)
 	if m := t.cfg.Metrics; m != nil {
 		m.CheckpointSeconds.Observe(time.Since(c0).Seconds())
 	}
@@ -497,6 +547,11 @@ type Stats struct {
 	// the same quantity the fekf_p_resident_bytes gauge exports.
 	PResidentBytes int64  `json:"p_resident_bytes"`
 	LastError      string `json:"last_error,omitempty"`
+	// Guard is the self-healing ledger (nil when neither the sentinel nor
+	// the checkpoint ring is configured): divergence/rollback/watchdog
+	// counts, the degraded flag /healthz keys on, and the checkpoint-ring
+	// generation and age.
+	Guard *guard.Status `json:"guard,omitempty"`
 }
 
 // Stats returns a consistent-enough view assembled from atomics; safe from
@@ -506,7 +561,7 @@ func (t *Trainer) Stats() Stats {
 		System:         t.system,
 		Steps:          t.steps.Load(),
 		Lambda:         math.Float64frombits(t.lambdaBits.Load()),
-		KalmanUpdates:  t.steps.Load() * int64(1+t.opt.ForceGroups),
+		KalmanUpdates:  t.steps.Load() * int64(1+t.forceGroups),
 		QueueDepth:     t.queue.Depth(),
 		QueueCapacity:  t.queue.Cap(),
 		FramesQueued:   t.queue.Pushed(),
@@ -538,6 +593,9 @@ func (t *Trainer) Stats() Stats {
 	}
 	if e := t.lastErr.Load(); e != nil {
 		st.LastError = *e
+	}
+	if t.ring != nil || t.sentinel != nil {
+		st.Guard = t.health.Status(time.Now())
 	}
 	return st
 }

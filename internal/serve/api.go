@@ -9,6 +9,7 @@ import (
 
 	"fekf/internal/dataset"
 	"fekf/internal/fleet"
+	"fekf/internal/guard"
 	"fekf/internal/online"
 )
 
@@ -79,12 +80,16 @@ type PredictResponse struct {
 	Batch int `json:"batch"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body.  Status is "ok", or "degraded"
+// while the backend's self-healing guard reports a recent divergence,
+// rollback or watchdog fire that enough healthy steps have not yet
+// cleared (see Config.Degraded503 for the status-code policy).
 type HealthResponse struct {
-	Status       string `json:"status"`
-	System       string `json:"system"`
-	Steps        int64  `json:"steps"`
-	SnapshotStep int64  `json:"snapshot_step"`
+	Status       string        `json:"status"`
+	System       string        `json:"system"`
+	Steps        int64         `json:"steps"`
+	SnapshotStep int64         `json:"snapshot_step"`
+	Guard        *guard.Status `json:"guard,omitempty"`
 }
 
 // StatsResponse is the /v1/stats body: aggregated trainer stats plus

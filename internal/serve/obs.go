@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fekf/internal/fleet"
+	"fekf/internal/guard"
 	"fekf/internal/obs"
 	"fekf/internal/online"
 )
@@ -130,6 +131,19 @@ func (c *backendCollector) stat(f func(online.Stats) float64) func() float64 {
 	}
 }
 
+// gstat reads one guard-status field from the cached snapshot; a backend
+// with no guard configured (Stats().Guard == nil) reads as zero.
+func (c *backendCollector) gstat(f func(*guard.Status) float64) func() float64 {
+	return func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.st.Guard == nil {
+			return 0
+		}
+		return f(c.st.Guard)
+	}
+}
+
 // fstat reads one fleet-stats field from the cached snapshot.
 func (c *backendCollector) fstat(f func(fleet.Stats) float64) func() float64 {
 	return func() float64 {
@@ -193,6 +207,39 @@ func registerBackendMetrics(reg *obs.Registry, be Backend) {
 	reg.CounterFunc("fekf_checkpoints_total",
 		"Checkpoints written.",
 		c.stat(func(s online.Stats) float64 { return float64(s.Checkpoints) }))
+
+	// Self-healing guard ledger (all zero when no guard is configured).
+	reg.CounterFunc("fekf_guard_divergence_total",
+		"Numerical divergences caught by the health sentinel.",
+		c.gstat(func(g *guard.Status) float64 { return float64(g.Divergences) }))
+	reg.CounterFunc("fekf_guard_rollback_total",
+		"Automatic rollbacks to a checkpoint ring generation.",
+		c.gstat(func(g *guard.Status) float64 { return float64(g.Rollbacks) }))
+	reg.CounterFunc("fekf_guard_watchdog_total",
+		"Step-watchdog fires (a stuck rank aborted and reconciled).",
+		c.gstat(func(g *guard.Status) float64 { return float64(g.WatchdogFires) }))
+	reg.CounterFunc("fekf_guard_quarantined_checkpoints_total",
+		"Corrupt or torn checkpoint generations quarantined at load.",
+		c.gstat(func(g *guard.Status) float64 { return float64(g.Quarantined) }))
+	reg.GaugeFunc("fekf_guard_degraded",
+		"1 while a recent divergence/watchdog event has not been cleared by enough healthy steps.",
+		c.gstat(func(g *guard.Status) float64 {
+			if g.Degraded {
+				return 1
+			}
+			return 0
+		}))
+	reg.GaugeFunc("fekf_checkpoint_ring_generation",
+		"Newest checkpoint ring generation written or validated.",
+		c.gstat(func(g *guard.Status) float64 { return float64(g.RingGeneration) }))
+	reg.GaugeFunc("fekf_checkpoint_last_good_age_seconds",
+		"Age of the newest known-good checkpoint generation (-1 before any exists).",
+		c.gstat(func(g *guard.Status) float64 {
+			if g.RingAgeMs < 0 {
+				return -1
+			}
+			return float64(g.RingAgeMs) / 1000
+		}))
 
 	if c.fs == nil {
 		// Single-trainer backend: one resident-P value, same name as the

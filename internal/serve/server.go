@@ -64,6 +64,12 @@ type Config struct {
 	Metrics *obs.Registry
 	// Trace, when non-nil, is served at GET /v1/trace as JSON.
 	Trace *obs.Tracer
+	// Degraded503 makes GET /healthz answer 503 while the backend's guard
+	// reports a degraded state, so orchestrator probes can shed the node.
+	// Off by default: a degraded backend still serves predictions from the
+	// last healthy snapshot, so degradation is reported in the body with a
+	// 200 unless the operator opts into probe-visible failure.
+	Degraded503 bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof/, outside the
 	// request-timeout wrapper (profiles run for tens of seconds; they are
 	// still subject to the server's write timeout — use the standalone
@@ -198,11 +204,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.be.Stats()
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:       "ok",
+	status, code := "ok", http.StatusOK
+	if st.Guard != nil && st.Guard.Degraded {
+		status = "degraded"
+		if s.cfg.Degraded503 {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, HealthResponse{
+		Status:       status,
 		System:       st.System,
 		Steps:        st.Steps,
 		SnapshotStep: st.SnapshotStep,
+		Guard:        st.Guard,
 	})
 }
 

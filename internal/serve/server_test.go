@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -17,6 +20,7 @@ import (
 	"fekf/internal/deepmd"
 	"fekf/internal/device"
 	"fekf/internal/fleet"
+	"fekf/internal/guard"
 	"fekf/internal/obs"
 	"fekf/internal/online"
 	"fekf/internal/optimize"
@@ -624,5 +628,204 @@ func TestServerPShardBackend(t *testing.T) {
 				t.Errorf("rank 0 resident-bytes gauge stuck at 0: %q", line)
 			}
 		}
+	}
+}
+
+// metricValue extracts the value of an unlabelled metric line from a
+// Prometheus text exposition, failing the test when the family is absent.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s has unparseable value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("exposition has no %s sample", name)
+	return 0
+}
+
+// The degraded health surface: with the sentinel on but no checkpoint ring,
+// a poisoned step leaves the trainer permanently degraded — /healthz must
+// report it (503 with Degraded503, 200 otherwise), the guard ledger rides
+// the body and /metrics, and predictions keep answering from the last
+// healthy snapshot.
+func TestServerGuardDegradedHealthz(t *testing.T) {
+	reg := obs.NewRegistry()
+	ds, tr, srv := serveSetup(t,
+		online.TrainerConfig{BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, TrainIdle: true, Seed: 5,
+			Guard: guard.SentinelConfig{Enabled: true, SampleStride: 1},
+			Chaos: guard.ChaosConfig{PoisonStep: 2, PoisonInf: true},
+			Gate:  online.GateConfig{Enabled: false}},
+		Config{Metrics: reg, Degraded503: true})
+	base := "http://" + srv.Addr()
+
+	req := FramesRequest{}
+	for i := 0; i < 4; i++ {
+		req.Frames = append(req.Frames, framePayload(ds, i))
+	}
+	var fresp FramesResponse
+	if code, err := postJSON(t, base+"/v1/frames", req, &fresp); err != nil || code != http.StatusOK {
+		t.Fatalf("frames: %d %v", code, err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var health HealthResponse
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&health)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never went 503: %+v", health)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if health.Status != "degraded" || health.Guard == nil {
+		t.Fatalf("degraded healthz body: %+v", health)
+	}
+	if health.Guard.Divergences < 1 || health.Guard.Rollbacks != 0 {
+		t.Fatalf("guard ledger over HTTP: %+v", health.Guard)
+	}
+
+	// Without the 503 knob the same backend state answers 200 "degraded".
+	plain := New(tr, Config{})
+	t.Cleanup(plain.bat.Stop)
+	rr := httptest.NewRecorder()
+	plain.handleHealth(rr, httptest.NewRequest("GET", "/healthz", nil))
+	var ph HealthResponse
+	if err := json.NewDecoder(rr.Body).Decode(&ph); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Code != http.StatusOK || ph.Status != "degraded" || ph.Guard == nil {
+		t.Fatalf("default-policy degraded healthz: %d %+v", rr.Code, ph)
+	}
+
+	// The guard ledger is on /metrics as scrape-time func metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d %v", resp.StatusCode, err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE fekf_guard_divergence_total counter",
+		"# TYPE fekf_guard_rollback_total counter",
+		"# TYPE fekf_guard_watchdog_total counter",
+		"# TYPE fekf_guard_degraded gauge",
+		"# TYPE fekf_checkpoint_ring_generation gauge",
+		"# TYPE fekf_checkpoint_last_good_age_seconds gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if v := metricValue(t, out, "fekf_guard_divergence_total"); v < 1 {
+		t.Errorf("fekf_guard_divergence_total = %g, want >= 1", v)
+	}
+	if v := metricValue(t, out, "fekf_guard_degraded"); v != 1 {
+		t.Errorf("fekf_guard_degraded = %g, want 1", v)
+	}
+	if v := metricValue(t, out, "fekf_checkpoint_last_good_age_seconds"); v != -1 {
+		t.Errorf("ring age without a ring = %g, want -1", v)
+	}
+
+	// Availability: the published snapshot predates the poison, so the
+	// predict tier still answers with finite physics.
+	s := ds.Snapshots[0]
+	var presp PredictResponse
+	if code, err := postJSON(t, base+"/v1/predict",
+		PredictRequest{Pos: s.Pos, Box: s.Box, Types: s.Types}, &presp); err != nil || code != http.StatusOK {
+		t.Fatalf("predict while degraded: %d %v", code, err)
+	}
+	if math.IsNaN(presp.Energy) || math.IsInf(presp.Energy, 0) {
+		t.Fatalf("degraded predict returned non-finite energy %g", presp.Energy)
+	}
+}
+
+// The recovered path over HTTP: with a checkpoint ring behind the trainer,
+// the poisoned step rolls back automatically and the rollback/ring gauges
+// land on /metrics.
+func TestServerGuardRollbackMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	ds, _, srv := serveSetup(t,
+		online.TrainerConfig{BatchSize: 2, MinFrames: 2, SnapshotEvery: 1, TrainIdle: true, Seed: 7,
+			CheckpointPath: path, CheckpointEvery: 2, CheckpointKeep: 3,
+			Guard: guard.SentinelConfig{Enabled: true, SampleStride: 1},
+			Chaos: guard.ChaosConfig{PoisonStep: 5},
+			Gate:  online.GateConfig{Enabled: false}},
+		Config{Metrics: reg})
+	base := "http://" + srv.Addr()
+
+	req := FramesRequest{}
+	for i := 0; i < 6; i++ {
+		req.Frames = append(req.Frames, framePayload(ds, i))
+	}
+	var fresp FramesResponse
+	if code, err := postJSON(t, base+"/v1/frames", req, &fresp); err != nil || code != http.StatusOK {
+		t.Fatalf("frames: %d %v", code, err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var stats StatsResponse
+	for {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Guard != nil && stats.Guard.Rollbacks >= 1 && stats.Steps >= 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trainer never rolled back and recovered: %+v", stats.Guard)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stats.Guard.Divergences != 1 || stats.Guard.RollbackGeneration == 0 {
+		t.Fatalf("guard ledger after recovery: %+v", stats.Guard)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d %v", resp.StatusCode, err)
+	}
+	out := string(body)
+	if v := metricValue(t, out, "fekf_guard_rollback_total"); v != 1 {
+		t.Errorf("fekf_guard_rollback_total = %g, want 1", v)
+	}
+	if v := metricValue(t, out, "fekf_guard_divergence_total"); v != 1 {
+		t.Errorf("fekf_guard_divergence_total = %g, want 1", v)
+	}
+	if v := metricValue(t, out, "fekf_checkpoint_ring_generation"); v < 2 {
+		t.Errorf("fekf_checkpoint_ring_generation = %g, want >= 2", v)
+	}
+	if v := metricValue(t, out, "fekf_checkpoint_last_good_age_seconds"); v < 0 {
+		t.Errorf("fekf_checkpoint_last_good_age_seconds = %g, want >= 0", v)
 	}
 }
